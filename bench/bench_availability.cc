@@ -1,0 +1,47 @@
+// Reproduces §4's availability analysis: "we received 5,098,281 successful
+// responses and 311,351 errors [5.75% error rate]. The most common errors we
+// received ... were related to a failure to establish a connection. We did
+// not identify a consistent pattern of not receiving responses from a
+// certain subset of resolvers."
+//
+// The reproduction runs a scaled-down version of the full campaign (every
+// resolver, every vantage class) and prints the same summary. The absolute
+// query count is smaller (the paper measured for months); the error *rate*,
+// dominant error class, and the absence of consistently-dead resolvers are
+// the reproduced shape.
+#include "common.h"
+
+int main() {
+  using namespace ednsm;
+  auto result = bench::run_paper_campaign(
+      {"home-chicago-1", "home-chicago-2", "home-chicago-3", "home-chicago-4", "ec2-ohio",
+       "ec2-frankfurt", "ec2-seoul"},
+      25);
+
+  std::printf("%s\n", report::availability_report(result).c_str());
+  std::printf("paper reference: 5,098,281 ok / 311,351 errors = 5.75%% error rate;\n"
+              "dominant error: failure to establish a connection;\n"
+              "no consistent unresponsive subset across runs.\n\n");
+
+  // Error-rate split by operator tier (diagnostic beyond the paper).
+  std::printf("error rate by operator tier:\n");
+  for (const auto tier : {resolver::OperatorTier::Hyperscale, resolver::OperatorTier::Managed,
+                          resolver::OperatorTier::Hobbyist}) {
+    std::uint64_t ok = 0, err = 0;
+    for (const auto& s : resolver::paper_resolver_list()) {
+      if (s.tier != tier) continue;
+      const auto counts = result.availability.per_resolver(s.hostname);
+      ok += counts.successes;
+      err += counts.errors;
+    }
+    const char* name = tier == resolver::OperatorTier::Hyperscale ? "hyperscale"
+                       : tier == resolver::OperatorTier::Managed  ? "managed"
+                                                                  : "hobbyist";
+    std::printf("  %-10s: %6.2f%%  (%llu ok / %llu err)\n", name,
+                ok + err == 0 ? 0.0
+                              : 100.0 * static_cast<double>(err) /
+                                    static_cast<double>(ok + err),
+                static_cast<unsigned long long>(ok), static_cast<unsigned long long>(err));
+  }
+  return 0;
+}

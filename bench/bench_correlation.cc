@@ -1,0 +1,74 @@
+// Reproduces §3.1's latency analysis: "each time we issued a set of DoH
+// queries to a resolver, we also issued a ICMP ping message and noted the
+// round-trip time. This enabled us to explore whether there was a consistent
+// relationship between high query response times and network latency."
+//
+// Per vantage, correlate each resolver's median DoH response time against its
+// median ping RTT across the population, and fit response ≈ slope × ping.
+// Expected shape: strong positive correlation with slope ≈ 3 (TCP + TLS +
+// HTTP round trips), with the residual above the fit explained by server-side
+// behaviour (recursion misses, load spikes, the ODoH relay detour).
+#include "common.h"
+
+#include <cmath>
+
+#include "stats/correlation.h"
+#include "stats/quantile.h"
+
+using namespace ednsm;
+
+int main() {
+  auto result = bench::run_paper_campaign(
+      {"home-chicago-1", "ec2-ohio", "ec2-frankfurt", "ec2-seoul"}, 25);
+
+  std::printf("Response-time vs ping correlation across the resolver population\n\n");
+  std::printf("%-16s %6s %9s %9s %8s %8s %6s\n", "vantage", "n", "pearson", "spearman",
+              "slope", "icept", "R^2");
+  std::printf("------------------------------------------------------------------\n");
+
+  for (const std::string& vantage : result.spec.vantage_ids) {
+    std::vector<double> ping_medians, response_medians;
+    for (const std::string& host : result.spec.resolvers) {
+      const double p = stats::median(result.ping_times(vantage, host));
+      const double r = stats::median(result.response_times(vantage, host));
+      if (std::isnan(p) || std::isnan(r)) continue;  // ICMP-filtered resolvers drop out
+      ping_medians.push_back(p);
+      response_medians.push_back(r);
+    }
+    const auto fit = stats::linear_fit(ping_medians, response_medians);
+    std::printf("%-16s %6zu %9.3f %9.3f %8.2f %8.1f %6.2f\n", vantage.c_str(),
+                ping_medians.size(), stats::pearson(ping_medians, response_medians),
+                stats::spearman(ping_medians, response_medians), fit.slope, fit.intercept,
+                fit.r_squared);
+  }
+
+  // The resolvers far above the fit line: server-side slowness, not the path.
+  std::printf("\nBiggest positive residuals from the Ohio fit (server-side slowness):\n");
+  {
+    std::vector<double> pings, responses;
+    std::vector<std::string> hosts;
+    for (const std::string& host : result.spec.resolvers) {
+      const double p = stats::median(result.ping_times("ec2-ohio", host));
+      const double r = stats::median(result.response_times("ec2-ohio", host));
+      if (std::isnan(p) || std::isnan(r)) continue;
+      pings.push_back(p);
+      responses.push_back(r);
+      hosts.push_back(host);
+    }
+    const auto fit = stats::linear_fit(pings, responses);
+    std::vector<std::pair<double, std::string>> residuals;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      residuals.emplace_back(responses[i] - (fit.slope * pings[i] + fit.intercept),
+                             hosts[i]);
+    }
+    std::sort(residuals.rbegin(), residuals.rend());
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, residuals.size()); ++i) {
+      std::printf("  %+8.1f ms  %s\n", residuals[i].first, residuals[i].second.c_str());
+    }
+  }
+
+  std::printf("\nExpected shape: Pearson/Spearman >= ~0.9 everywhere; slope ~= 3\n"
+              "(the DoH handshake round trips); ODoH targets and hobbyist\n"
+              "recursion-heavy resolvers dominate the positive residuals.\n");
+  return 0;
+}

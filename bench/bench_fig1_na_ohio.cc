@@ -1,0 +1,21 @@
+// Reproduces Figure 1: DNS response time and ICMP ping distributions for
+// encrypted DNS resolvers located in North America, measured from an EC2
+// instance in Ohio. Mainstream resolvers are marked *bold*.
+//
+// Expected shape (paper §4): mainstream resolvers and well-peered
+// non-mainstream ones (ordns.he.net, freedns.controld.com) at the top;
+// ODoH targets far right of their pings; ping boxes well left of response
+// boxes (handshake round trips).
+#include "common.h"
+
+int main() {
+  using namespace ednsm;
+  auto result = bench::run_paper_campaign({"ec2-ohio"}, 30);
+  bench::print_figure(result, "ec2-ohio", geo::Continent::NorthAmerica,
+                      "Figure 1: NA-located resolvers from EC2 Ohio");
+
+  std::printf("\nPaper reference: max per-resolver median from Ohio was 270 ms.\n");
+  const report::Table t = report::max_median_table(result);
+  std::printf("%s\n", t.to_text().c_str());
+  return 0;
+}

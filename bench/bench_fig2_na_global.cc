@@ -1,0 +1,34 @@
+// Reproduces Figure 2 (a-d): NA-located resolvers measured from the four
+// vantage classes — U.S. home networks (local), Ohio EC2 (local),
+// Frankfurt EC2, Seoul EC2.
+//
+// Expected shape: from home, ordns.he.net tops the chart; the farther the
+// vantage, the wider the spread for unicast resolvers while anycast
+// mainstream stays tight.
+#include "common.h"
+
+int main() {
+  using namespace ednsm;
+  auto result = bench::run_paper_campaign(
+      {"home-chicago-1", "ec2-ohio", "ec2-frankfurt", "ec2-seoul"}, 30);
+
+  bench::print_figure(result, "home-chicago-1", geo::Continent::NorthAmerica,
+                      "Figure 2a: NA resolvers from U.S. home networks (local)");
+  bench::print_figure(result, "ec2-ohio", geo::Continent::NorthAmerica,
+                      "Figure 2b: NA resolvers from Ohio EC2 (local)");
+  bench::print_figure(result, "ec2-frankfurt", geo::Continent::NorthAmerica,
+                      "Figure 2c: NA resolvers from Frankfurt EC2");
+  bench::print_figure(result, "ec2-seoul", geo::Continent::NorthAmerica,
+                      "Figure 2d: NA resolvers from Seoul EC2");
+
+  std::printf("\nNon-mainstream resolvers beating every mainstream one, per vantage:\n");
+  for (const char* vantage : {"home-chicago-1", "ec2-ohio", "ec2-frankfurt", "ec2-seoul"}) {
+    std::printf("  %-16s:", vantage);
+    for (const std::string& host : report::nonmainstream_winners(result, vantage)) {
+      std::printf(" %s", host.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: ordns.he.net from home; freedns.controld.com from Ohio)\n");
+  return 0;
+}

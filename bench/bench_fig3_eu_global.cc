@@ -1,0 +1,28 @@
+// Reproduces Figure 3 (a-d): Europe-located resolvers measured from the four
+// vantage classes. Expected shape: tight, fast distributions from Frankfurt
+// (local); heavy right-shift from Seoul; dns.brahma.world competitive with
+// mainstream from Frankfurt.
+#include "common.h"
+
+int main() {
+  using namespace ednsm;
+  auto result = bench::run_paper_campaign(
+      {"home-chicago-1", "ec2-ohio", "ec2-frankfurt", "ec2-seoul"}, 30);
+
+  bench::print_figure(result, "home-chicago-1", geo::Continent::Europe,
+                      "Figure 3a: EU resolvers from U.S. home networks");
+  bench::print_figure(result, "ec2-ohio", geo::Continent::Europe,
+                      "Figure 3b: EU resolvers from Ohio EC2");
+  bench::print_figure(result, "ec2-frankfurt", geo::Continent::Europe,
+                      "Figure 3c: EU resolvers from Frankfurt EC2 (local)");
+  bench::print_figure(result, "ec2-seoul", geo::Continent::Europe,
+                      "Figure 3d: EU resolvers from Seoul EC2");
+
+  std::printf("\nNon-mainstream winners from Frankfurt (paper: dns.brahma.world beats "
+              "Cloudflare):\n ");
+  for (const std::string& host : report::nonmainstream_winners(result, "ec2-frankfurt")) {
+    std::printf(" %s", host.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces Figure 4 (a-d): Asia-located resolvers measured from the four
+// vantage classes. Expected shape: dns.alidns.com at the top from Seoul
+// (beating all mainstream resolvers); dns.twnic.tw slow from the home
+// devices but fine from EC2.
+#include "common.h"
+
+int main() {
+  using namespace ednsm;
+  auto result = bench::run_paper_campaign(
+      {"home-chicago-1", "ec2-ohio", "ec2-frankfurt", "ec2-seoul"}, 30);
+
+  bench::print_figure(result, "home-chicago-1", geo::Continent::Asia,
+                      "Figure 4a: Asia resolvers from U.S. home networks");
+  bench::print_figure(result, "ec2-ohio", geo::Continent::Asia,
+                      "Figure 4b: Asia resolvers from Ohio EC2");
+  bench::print_figure(result, "ec2-frankfurt", geo::Continent::Asia,
+                      "Figure 4c: Asia resolvers from Frankfurt EC2");
+  bench::print_figure(result, "ec2-seoul", geo::Continent::Asia,
+                      "Figure 4d: Asia resolvers from Seoul EC2 (local)");
+
+  std::printf("\nNon-mainstream winners from Seoul (paper: dns.alidns.com beats Quad9, "
+              "Google, and Cloudflare):\n ");
+  for (const std::string& host : report::nonmainstream_winners(result, "ec2-seoul")) {
+    std::printf(" %s", host.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces §4's headline numbers:
+//   - per-vantage maximum of per-resolver median response times
+//     (paper: home 399 ms, Ohio 270 ms, Seoul 569 ms, Frankfurt 380 ms), and
+//   - the named local non-mainstream winners (ordns.he.net from home,
+//     freedns.controld.com from Ohio, dns.brahma.world from Frankfurt,
+//     dns.alidns.com from Seoul).
+#include "common.h"
+
+#include "stats/quantile.h"
+
+int main() {
+  using namespace ednsm;
+  auto result = bench::run_paper_campaign(
+      {"home-chicago-1", "ec2-ohio", "ec2-frankfurt", "ec2-seoul"}, 30);
+
+  std::printf("Max per-resolver median response time per vantage\n");
+  std::printf("(paper: home 399 ms / Ohio 270 ms / Frankfurt 380 ms / Seoul 569 ms)\n\n");
+  std::printf("%s\n", report::max_median_table(result).to_text().c_str());
+
+  std::printf("Local non-mainstream winners (median below every mainstream median):\n");
+  struct Expectation {
+    const char* vantage;
+    const char* paper_winner;
+  };
+  const Expectation expectations[] = {
+      {"home-chicago-1", "ordns.he.net"},
+      {"ec2-ohio", "freedns.controld.com"},
+      {"ec2-frankfurt", "dns.brahma.world"},
+      {"ec2-seoul", "dns.alidns.com"},
+  };
+  for (const Expectation& e : expectations) {
+    const auto winners = report::nonmainstream_winners(result, e.vantage);
+    bool reproduced = false;
+    std::printf("  %-16s:", e.vantage);
+    for (const std::string& w : winners) {
+      std::printf(" %s", w.c_str());
+      if (w == e.paper_winner) reproduced = true;
+    }
+    std::printf("   [paper: %s -> %s]\n", e.paper_winner,
+                reproduced ? "REPRODUCED" : "not in winner set");
+  }
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Microbenchmarks (google-benchmark) for the hot paths under the measurement
+// tool: DNS wire codec, name compression, base64url, HPACK, HTTP/2 framing,
+// HTTP/1.1 codec, the resolver cache, JSON serialization, and the simulator's
+// RNG/path sampling. These guard against performance regressions that would
+// make large campaigns slow.
+#include <benchmark/benchmark.h>
+
+#include "core/json.h"
+#include "dns/base64url.h"
+#include "dns/message.h"
+#include "geo/geodb.h"
+#include "http/doh_media.h"
+#include "http/h1.h"
+#include "http/h2.h"
+#include "http/hpack.h"
+#include "netsim/path.h"
+#include "netsim/rng.h"
+#include "resolver/cache.h"
+#include "resolver/upstream.h"
+
+namespace {
+
+using namespace ednsm;
+
+dns::Message sample_query() {
+  return dns::make_query(0x1234, dns::Name::parse("www.example.com").value(),
+                         dns::RecordType::A);
+}
+
+dns::Message sample_response() {
+  const dns::Message q = sample_query();
+  return dns::make_response(
+      q, dns::Rcode::NoError,
+      resolver::synthesize_answers(q.questions.front().qname, dns::RecordType::A));
+}
+
+void BM_DnsEncodeQuery(benchmark::State& state) {
+  const dns::Message q = sample_query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.encode());
+  }
+}
+BENCHMARK(BM_DnsEncodeQuery);
+
+void BM_DnsEncodeQueryPadded(benchmark::State& state) {
+  const dns::Message q = sample_query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.encode(128));
+  }
+}
+BENCHMARK(BM_DnsEncodeQueryPadded);
+
+void BM_DnsDecodeResponse(benchmark::State& state) {
+  const util::Bytes wire = sample_response().encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Message::decode(wire));
+  }
+}
+BENCHMARK(BM_DnsDecodeResponse);
+
+void BM_Base64UrlEncode(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)));
+  netsim::Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::base64url_encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Base64UrlEncode)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_Base64UrlDecode(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)));
+  netsim::Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  const std::string encoded = dns::base64url_encode(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::base64url_decode(encoded));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Base64UrlDecode)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_HpackEncodeRequestHeaders(benchmark::State& state) {
+  const std::vector<http::hpack::Header> headers = {
+      {":method", "POST"},
+      {":scheme", "https"},
+      {":authority", "dns.example"},
+      {":path", "/dns-query"},
+      {"accept", "application/dns-message"},
+      {"content-type", "application/dns-message"},
+  };
+  http::hpack::Encoder encoder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(headers));
+  }
+}
+BENCHMARK(BM_HpackEncodeRequestHeaders);
+
+void BM_H2SerializeRequest(benchmark::State& state) {
+  const util::Bytes dns_wire = sample_query().encode();
+  const http::Request req =
+      http::make_doh_request("dns.example", "/dns-query", dns_wire, true);
+  http::H2ClientSession session;
+  std::uint32_t sid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.serialize_request(req, sid));
+  }
+}
+BENCHMARK(BM_H2SerializeRequest);
+
+void BM_H1EncodeDecode(benchmark::State& state) {
+  const util::Bytes dns_wire = sample_query().encode();
+  const http::Request req =
+      http::make_doh_request("dns.example", "/dns-query", dns_wire, true);
+  for (auto _ : state) {
+    const util::Bytes wire = req.encode();
+    benchmark::DoNotOptimize(http::Request::decode(wire));
+  }
+}
+BENCHMARK(BM_H1EncodeDecode);
+
+void BM_CacheHit(benchmark::State& state) {
+  resolver::Cache cache;
+  const resolver::CacheKey key{dns::Name::parse("www.example.com").value(),
+                               dns::RecordType::A, dns::RecordClass::IN};
+  cache.insert(key, dns::Rcode::NoError,
+               resolver::synthesize_answers(key.qname, dns::RecordType::A),
+               netsim::SimTime(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(key, netsim::SimTime(std::chrono::seconds(1))));
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  resolver::Cache cache(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const resolver::CacheKey key{
+        dns::Name::parse("h" + std::to_string(i++) + ".example.com").value(),
+        dns::RecordType::A, dns::RecordClass::IN};
+    cache.insert(key, dns::Rcode::NoError, {}, netsim::SimTime(0));
+  }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void BM_JsonDumpRecord(benchmark::State& state) {
+  core::JsonObject o;
+  o["vantage"] = core::Json("ec2-ohio");
+  o["resolver"] = core::Json("dns.google");
+  o["response_ms"] = core::Json(31.25);
+  o["ok"] = core::Json(true);
+  const core::Json j(std::move(o));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(j.dump());
+  }
+}
+BENCHMARK(BM_JsonDumpRecord);
+
+void BM_JsonParseRecord(benchmark::State& state) {
+  const std::string text =
+      R"({"ok":true,"resolver":"dns.google","response_ms":31.25,"vantage":"ec2-ohio"})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Json::parse(text));
+  }
+}
+BENCHMARK(BM_JsonParseRecord);
+
+void BM_RngLognormal(benchmark::State& state) {
+  netsim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal(-1.2, 0.45));
+  }
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_PathSample(benchmark::State& state) {
+  const netsim::PathModel path = netsim::PathModel::between(
+      geo::city::kChicago, geo::city::kFrankfurt, netsim::AccessLinkModel::residential(),
+      netsim::AccessLinkModel::datacenter());
+  netsim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path.sample_one_way_ms(rng));
+  }
+}
+BENCHMARK(BM_PathSample);
+
+void BM_NameCompressionEncode(benchmark::State& state) {
+  const dns::Name names[] = {
+      dns::Name::parse("www.example.com").value(),
+      dns::Name::parse("mail.example.com").value(),
+      dns::Name::parse("example.com").value(),
+  };
+  for (auto _ : state) {
+    dns::WireWriter w;
+    dns::NameCompressor comp;
+    for (const auto& n : names) comp.write(w, n);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_NameCompressionEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+// Reproduces Table 3: "Median DNS response times for non-mainstream
+// resolvers (Europe)" — the five EU-located non-mainstream resolvers with the
+// largest gap between the Frankfurt (near) and Seoul (far) vantages.
+//
+// Paper values for reference:
+//   doh.ffmuc.net   70 ms Frankfurt   569 ms Seoul
+//   dns0.eu         20 ms Frankfurt   399 ms Seoul
+//   open.dns0.eu    10 ms Frankfurt   324 ms Seoul
+//   kids.dns0.eu    10 ms Frankfurt   309 ms Seoul
+//   dns.njal.la     20 ms Frankfurt   289 ms Seoul
+#include "common.h"
+
+int main() {
+  using namespace ednsm;
+  auto result = bench::run_paper_campaign({"ec2-frankfurt", "ec2-seoul"}, 30);
+  std::printf("Table 3: median response times, Europe non-mainstream resolvers\n\n%s\n",
+              report::remote_median_table(result, geo::Continent::Europe, "ec2-frankfurt",
+                                          "ec2-seoul")
+                  .to_text()
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Split your DNS profile across resolvers: drive the query-distribution API
+// directly (the K-resolver idea the paper's related work motivates) and watch
+// the privacy/performance tradeoff move as the strategy changes.
+//
+//   $ ./multi_resolver_privacy [queries] [strategy]
+//   strategy: single|round-robin|random|sharded|fastest-k (default: compare all)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/distribution.h"
+#include "report/table.h"
+#include "stats/quantile.h"
+
+using namespace ednsm;
+
+namespace {
+
+struct NamedStrategy {
+  const char* name;
+  core::DistributionStrategy strategy;
+};
+
+constexpr NamedStrategy kStrategies[] = {
+    {"single", core::DistributionStrategy::SingleFastest},
+    {"round-robin", core::DistributionStrategy::RoundRobin},
+    {"random", core::DistributionStrategy::UniformRandom},
+    {"sharded", core::DistributionStrategy::HashSharded},
+    {"fastest-k", core::DistributionStrategy::FastestK},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int queries = argc > 1 ? std::atoi(argv[1]) : 300;
+  const char* only = argc > 2 ? argv[2] : nullptr;
+
+  const std::vector<std::string> resolvers = {
+      "dns.google", "dns.quad9.net", "ordns.he.net", "freedns.controld.com",
+      "dns0.eu",
+  };
+  const auto workload =
+      core::zipf_workload(/*unique_domains=*/120, static_cast<std::size_t>(queries),
+                          /*alpha=*/0.95, /*seed=*/23);
+
+  report::Table table(
+      {"Strategy", "median (ms)", "p90 (ms)", "max op. share", "entropy (bits)"});
+
+  for (const NamedStrategy& named : kStrategies) {
+    if (only != nullptr && std::strcmp(only, named.name) != 0) continue;
+
+    core::SimWorld world(23);
+    core::DistributorConfig config;
+    config.strategy = named.strategy;
+    config.k = 2;
+    config.seed = 23;
+    core::QueryDistributor dist(world, "home-chicago-1", resolvers, config);
+    dist.calibrate();
+
+    std::vector<double> latencies;
+    for (const std::string& domain : workload) {
+      dist.resolve(domain, [&](const std::string&, client::QueryOutcome o) {
+        if (o.ok) latencies.push_back(netsim::to_ms(o.timing.total));
+      });
+      world.run();
+    }
+    table.add_row({named.name, report::fmt(stats::median(latencies)),
+                   report::fmt(stats::quantile(latencies, 0.9)),
+                   report::fmt(dist.privacy().max_share() * 100.0, 0) + "%",
+                   report::fmt(dist.privacy().entropy_bits(), 2)});
+  }
+
+  std::printf("Distributing %d DoH queries over %zu resolvers from a Chicago home\n\n%s\n",
+              queries, resolvers.size(), table.to_text().c_str());
+  std::printf("Reading the table: lower max-operator-share / higher entropy means no\n"
+              "single resolver can reconstruct your browsing profile; the paper's\n"
+              "measurements tell you which resolvers are fast enough to be in the mix.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "client/do53.h"
+
+namespace ednsm::client {
+
+namespace {
+constexpr netsim::SimDuration kRetransmitAfter = std::chrono::seconds(2);
+}
+
+Do53Client::Do53Client(netsim::Network& net, netsim::IpAddr local_ip, QueryOptions options)
+    : net_(net), local_ip_(local_ip), options_(options) {}
+
+void Do53Client::query(netsim::IpAddr server, const dns::Name& qname, dns::RecordType qtype,
+                       QueryCallback cb) {
+  struct State {
+    std::unique_ptr<transport::UdpSocket> socket;
+    std::unique_ptr<SingleFire> guard;
+    std::optional<netsim::EventQueue::EventId> retransmit_timer;
+    netsim::SimTime started{0};
+    std::uint16_t id = 0;
+    Do53Client* owner = nullptr;
+  };
+  auto state = std::make_shared<State>();
+  state->owner = this;
+  ++inflight_;
+
+  const netsim::Endpoint local{local_ip_, net_.ephemeral_port(local_ip_)};
+  const netsim::Endpoint remote{server, netsim::kPortDns};
+  state->socket = std::make_unique<transport::UdpSocket>(net_, local);
+  state->started = net_.queue().now();
+  state->id = static_cast<std::uint16_t>(net_.rng().next_u64() & 0xffff);
+
+  const dns::Message query_msg = dns::make_query(state->id, qname, qtype);
+  const util::Bytes wire = query_msg.encode(options_.pad_block);
+
+  auto finish = [this, state, cb](QueryOutcome outcome) {
+    outcome.protocol = Protocol::Do53;
+    outcome.timing.total = net_.queue().now() - state->started;
+    if (state->retransmit_timer.has_value()) {
+      net_.queue().cancel(*state->retransmit_timer);
+      state->retransmit_timer.reset();
+    }
+    --inflight_;
+    // Break the ownership cycle (socket handler and guard capture `state`).
+    // The socket's receive handler may be the code calling us right now, so
+    // its destruction is deferred to a fresh event — destroying an executing
+    // std::function is undefined behaviour.
+    net_.queue().schedule(
+        netsim::kZeroDuration,
+        [doomed = std::shared_ptr<transport::UdpSocket>(std::move(state->socket))] {});
+    state->guard.reset();
+    cb(std::move(outcome));
+  };
+
+  state->guard = std::make_unique<SingleFire>(net_.queue(), options_.timeout, [finish] {
+    QueryOutcome timeout;
+    timeout.error = QueryError{QueryErrorClass::Timeout, "do53: no response"};
+    finish(std::move(timeout));
+  });
+
+  state->socket->on_receive([state, finish](const netsim::Datagram& d) {
+    if (state->guard == nullptr || state->guard->fired()) return;  // late duplicate
+    auto response = dns::Message::decode(d.payload);
+    QueryOutcome outcome;
+    if (!response) {
+      outcome.error = QueryError{QueryErrorClass::Malformed, response.error()};
+    } else if (response.value().header.id != state->id || !response.value().header.qr) {
+      return;  // stray datagram: keep waiting
+    } else {
+      outcome.ok = true;
+      outcome.rcode = response.value().header.rcode;
+      outcome.answers = std::move(response.value().answers);
+    }
+    if (!state->guard->fire()) return;
+    finish(std::move(outcome));
+  });
+
+  state->socket->send_to(remote, wire);
+
+  // dig-style retransmission once the initial wait elapses.
+  if (options_.timeout > kRetransmitAfter) {
+    state->retransmit_timer =
+        net_.queue().schedule(kRetransmitAfter, [this, state, remote, wire] {
+          state->retransmit_timer.reset();
+          if (!state->guard->fired() && state->socket) {
+            state->socket->send_to(remote, wire);
+          }
+        });
+  }
+}
+
+}  // namespace ednsm::client

@@ -1,0 +1,34 @@
+// Do53 client: plain DNS over UDP with dig-like retransmission (retry after
+// 2 s, overall deadline from QueryOptions). The baseline protocol in the
+// ablation benches.
+#pragma once
+
+#include <memory>
+
+#include "client/query.h"
+#include "netsim/network.h"
+#include "transport/udp.h"
+
+namespace ednsm::client {
+
+class Do53Client {
+ public:
+  Do53Client(netsim::Network& net, netsim::IpAddr local_ip, QueryOptions options = {});
+
+  // Resolve (qname, qtype) against `server` (port 53). Callback fires once.
+  void query(netsim::IpAddr server, const dns::Name& qname, dns::RecordType qtype,
+             QueryCallback cb);
+
+  [[nodiscard]] const QueryOptions& options() const noexcept { return options_; }
+
+ private:
+  netsim::Network& net_;
+  netsim::IpAddr local_ip_;
+  QueryOptions options_;
+  std::uint64_t inflight_ = 0;  // live query states (for leak checks in tests)
+
+ public:
+  [[nodiscard]] std::uint64_t inflight() const noexcept { return inflight_; }
+};
+
+}  // namespace ednsm::client

@@ -1,0 +1,41 @@
+// DoH client (RFC 8484): DNS over HTTPS on port 443, via HTTP/2 (default)
+// or HTTP/1.1, GET or POST, with connection reuse and optional 0-RTT early
+// data through the shared pool. This is the protocol the paper measures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "client/query.h"
+#include "http/h2.h"
+#include "netsim/network.h"
+#include "transport/pool.h"
+
+namespace ednsm::client {
+
+class DohClient {
+ public:
+  DohClient(netsim::Network& net, transport::ConnectionPool& pool, QueryOptions options = {});
+
+  // Resolve (qname, qtype) against https://<sni>/dns-query at `server`.
+  // Callback fires exactly once.
+  void query(netsim::IpAddr server, const std::string& sni, const dns::Name& qname,
+             dns::RecordType qtype, QueryCallback cb);
+
+  [[nodiscard]] const QueryOptions& options() const noexcept { return options_; }
+
+ private:
+  // HTTP/2 session state must live as long as the underlying TLS session
+  // (stream ids and HPACK tables are per-connection).
+  struct H2State {
+    http::H2ClientSession session;
+  };
+
+  netsim::Network& net_;
+  transport::ConnectionPool& pool_;
+  QueryOptions options_;
+  std::map<std::pair<netsim::Endpoint, std::string>, std::shared_ptr<H2State>> h2_sessions_;
+};
+
+}  // namespace ednsm::client

@@ -1,0 +1,121 @@
+#include "client/odoh.h"
+
+#include "resolver/odoh.h"
+
+namespace ednsm::client {
+
+OdohClient::OdohClient(netsim::Network& net, transport::ConnectionPool& pool,
+                       QueryOptions options)
+    : net_(net), pool_(pool), options_(options) {}
+
+void OdohClient::query(netsim::IpAddr relay, const std::string& relay_sni,
+                       const std::string& target_hostname, const dns::Name& qname,
+                       dns::RecordType qtype, QueryCallback cb) {
+  struct State {
+    std::unique_ptr<SingleFire> guard;
+    netsim::SimTime started{0};
+    std::uint16_t id = 0;
+    bool connected = false;
+  };
+  auto state = std::make_shared<State>();
+  state->started = net_.queue().now();
+  state->id = static_cast<std::uint16_t>(net_.rng().next_u64() & 0xffff);
+
+  const netsim::Endpoint remote{relay, netsim::kPortHttps};
+
+  auto finish = [this, state, cb](QueryOutcome outcome) {
+    outcome.protocol = Protocol::DoH;  // ODoH rides DoH; records tag the relay path
+    outcome.timing.total = net_.queue().now() - state->started;
+    state->guard.reset();
+    cb(std::move(outcome));
+  };
+
+  state->guard = std::make_unique<SingleFire>(
+      net_.queue(), options_.timeout, [this, state, remote, relay_sni, finish] {
+        pool_.invalidate(remote, relay_sni);
+        QueryOutcome timeout;
+        timeout.error = state->connected
+                            ? QueryError{QueryErrorClass::Timeout, "odoh: no response"}
+                            : QueryError{QueryErrorClass::ConnectTimeout,
+                                         "odoh: could not reach relay"};
+        finish(std::move(timeout));
+      });
+
+  // Seal the query for the target and wrap it for the relay.
+  const dns::Message query_msg = dns::make_query(state->id, qname, qtype);
+  resolver::ObliviousMessage sealed;
+  sealed.target_hostname = target_hostname;
+  sealed.payload = query_msg.encode(options_.pad_block);
+
+  http::Request request;
+  request.method = "POST";
+  request.path = std::string(http::kDohDefaultPath);
+  request.authority = relay_sni;
+  request.headers.emplace_back("content-type", std::string(resolver::kObliviousMediaType));
+  request.headers.emplace_back("accept", std::string(resolver::kObliviousMediaType));
+  request.body = sealed.encode();
+
+  pool_.acquire(
+      remote, relay_sni, options_.reuse, {},
+      [this, state, request, finish](Result<transport::ConnectionPool::Lease> lease) {
+        if (state->guard == nullptr || state->guard->fired()) return;
+        if (!lease) {
+          if (!state->guard->fire()) return;
+          QueryOutcome fail;
+          fail.error = QueryError{classify_transport_error(lease.error()), lease.error()};
+          fail.timing.connect = net_.queue().now() - state->started;
+          finish(std::move(fail));
+          return;
+        }
+        const auto& l = lease.value();
+        state->connected = true;
+        QueryTiming timing;
+        timing.connect = l.fresh ? net_.queue().now() - state->started
+                                 : netsim::kZeroDuration;
+        timing.connection_reused = !l.fresh;
+
+        l.tls->on_data([state, timing, finish](util::Bytes data) {
+          if (!state->guard || state->guard->fired()) return;
+          QueryOutcome outcome;
+          outcome.timing = timing;
+          auto response = http::Response::decode(data);
+          if (!response) {
+            if (!state->guard->fire()) return;
+            outcome.error = QueryError{QueryErrorClass::Malformed, response.error()};
+            finish(std::move(outcome));
+            return;
+          }
+          outcome.http_status = response.value().status;
+          if (response.value().status != 200) {
+            if (!state->guard->fire()) return;
+            outcome.error =
+                QueryError{QueryErrorClass::HttpError,
+                           "odoh: HTTP " + std::to_string(response.value().status)};
+            finish(std::move(outcome));
+            return;
+          }
+          auto sealed_answer = resolver::ObliviousMessage::decode(response.value().body);
+          if (!sealed_answer) {
+            if (!state->guard->fire()) return;
+            outcome.error = QueryError{QueryErrorClass::Malformed, sealed_answer.error()};
+            finish(std::move(outcome));
+            return;
+          }
+          auto message = dns::Message::decode(sealed_answer.value().payload);
+          if (!state->guard->fire()) return;
+          if (!message) {
+            outcome.error = QueryError{QueryErrorClass::Malformed, message.error()};
+          } else if (message.value().header.id != state->id) {
+            outcome.error = QueryError{QueryErrorClass::Malformed, "odoh: id mismatch"};
+          } else {
+            outcome.ok = true;
+            outcome.rcode = message.value().header.rcode;
+            outcome.answers = std::move(message.value().answers);
+          }
+          finish(std::move(outcome));
+        });
+        l.tls->send(request.encode());
+      });
+}
+
+}  // namespace ednsm::client

@@ -1,0 +1,33 @@
+// Oblivious DoH client (RFC 9230): resolves through a relay so the target
+// resolver never sees the client's address. Costs the client<->relay path on
+// top of the relay<->target path — the privacy/latency tradeoff quantified by
+// bench_odoh.
+#pragma once
+
+#include <string>
+
+#include "client/query.h"
+#include "netsim/network.h"
+#include "transport/pool.h"
+
+namespace ednsm::client {
+
+class OdohClient {
+ public:
+  OdohClient(netsim::Network& net, transport::ConnectionPool& pool, QueryOptions options = {});
+
+  // Resolve (qname, qtype) at `target_hostname` via the relay at
+  // `relay`/`relay_sni`. Callback fires exactly once.
+  void query(netsim::IpAddr relay, const std::string& relay_sni,
+             const std::string& target_hostname, const dns::Name& qname,
+             dns::RecordType qtype, QueryCallback cb);
+
+  [[nodiscard]] const QueryOptions& options() const noexcept { return options_; }
+
+ private:
+  netsim::Network& net_;
+  transport::ConnectionPool& pool_;
+  QueryOptions options_;
+};
+
+}  // namespace ednsm::client

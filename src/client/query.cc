@@ -1,0 +1,65 @@
+#include "client/query.h"
+
+#include "util/strings.h"
+
+namespace ednsm::client {
+
+std::string_view to_string(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::Do53: return "Do53";
+    case Protocol::DoT: return "DoT";
+    case Protocol::DoH: return "DoH";
+    case Protocol::DoQ: return "DoQ";
+  }
+  return "?";
+}
+
+std::string_view to_string(QueryErrorClass c) noexcept {
+  switch (c) {
+    case QueryErrorClass::ConnectRefused: return "connect-refused";
+    case QueryErrorClass::ConnectTimeout: return "connect-timeout";
+    case QueryErrorClass::TlsFailure: return "tls-failure";
+    case QueryErrorClass::HttpError: return "http-error";
+    case QueryErrorClass::Timeout: return "timeout";
+    case QueryErrorClass::Malformed: return "malformed";
+  }
+  return "?";
+}
+
+SingleFire::SingleFire(netsim::EventQueue& queue, netsim::SimDuration timeout,
+                       std::function<void()> on_timeout)
+    : queue_(queue) {
+  timer_ = queue_.schedule(timeout, [this, cb = std::move(on_timeout)] {
+    timer_.reset();
+    if (!fired_) {
+      fired_ = true;
+      cb();
+    }
+  });
+}
+
+SingleFire::~SingleFire() {
+  if (timer_.has_value()) queue_.cancel(*timer_);
+}
+
+bool SingleFire::fire() {
+  if (fired_) return false;
+  fired_ = true;
+  if (timer_.has_value()) {
+    queue_.cancel(*timer_);
+    timer_.reset();
+  }
+  return true;
+}
+
+QueryErrorClass classify_transport_error(std::string_view detail) noexcept {
+  if (detail.find("refused") != std::string_view::npos) return QueryErrorClass::ConnectRefused;
+  if (detail.find("SYN") != std::string_view::npos ||
+      detail.find("timed out") != std::string_view::npos) {
+    return QueryErrorClass::ConnectTimeout;
+  }
+  if (detail.find("tls") != std::string_view::npos) return QueryErrorClass::TlsFailure;
+  return QueryErrorClass::Timeout;
+}
+
+}  // namespace ednsm::client

@@ -1,0 +1,93 @@
+// Shared types for the three query clients (Do53 / DoT / DoH): options,
+// timing breakdown, error taxonomy, and the query outcome delivered to the
+// measurement layer.
+//
+// The error taxonomy mirrors what the paper's tool distinguishes: "the most
+// common errors we received ... were related to a failure to establish a
+// connection" — so connection-establishment failures are separated from
+// in-band failures (TLS, HTTP status, DNS RCODE) and plain timeouts.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "netsim/time.h"
+#include "transport/pool.h"
+
+namespace ednsm::client {
+
+enum class Protocol { Do53, DoT, DoH, DoQ };
+
+[[nodiscard]] std::string_view to_string(Protocol p) noexcept;
+
+enum class QueryErrorClass {
+  ConnectRefused,   // TCP RST during handshake
+  ConnectTimeout,   // SYN retries exhausted
+  TlsFailure,       // handshake alert / certificate mismatch
+  HttpError,        // DoH: non-200 status
+  Timeout,          // no response within the deadline
+  Malformed,        // response failed to decode
+};
+
+[[nodiscard]] std::string_view to_string(QueryErrorClass c) noexcept;
+
+struct QueryError {
+  QueryErrorClass error_class = QueryErrorClass::Timeout;
+  std::string detail;
+};
+
+struct QueryTiming {
+  netsim::SimDuration total{0};    // request issued -> outcome known
+  netsim::SimDuration connect{0};  // TCP + TLS establishment (zero when reused)
+  bool connection_reused = false;
+  transport::TlsMode tls_mode = transport::TlsMode::Full;
+};
+
+struct QueryOutcome {
+  Protocol protocol = Protocol::DoH;
+  bool ok = false;                       // got a well-formed DNS response
+  dns::Rcode rcode = dns::Rcode::NoError;
+  std::vector<dns::ResourceRecord> answers;
+  std::optional<QueryError> error;       // set when !ok
+  QueryTiming timing;
+  int http_status = 0;                   // DoH only
+};
+
+using QueryCallback = std::function<void(QueryOutcome)>;
+
+struct QueryOptions {
+  netsim::SimDuration timeout = std::chrono::seconds(5);
+  transport::ReusePolicy reuse = transport::ReusePolicy::None;
+  // DoH shape:
+  bool use_post = false;       // RFC 8484 GET by default
+  bool use_http2 = true;       // false -> HTTP/1.1
+  bool offer_early_data = false;  // 0-RTT with TicketResumption
+  // EDNS padding block for queries (RFC 8467 recommends 128; 0 disables).
+  std::size_t pad_block = 128;
+};
+
+// Shared single-fire guard: wraps a callback + deadline so exactly one of
+// {response, error, timeout} reaches the caller.
+class SingleFire {
+ public:
+  SingleFire(netsim::EventQueue& queue, netsim::SimDuration timeout,
+             std::function<void()> on_timeout);
+  ~SingleFire();
+
+  // Returns true the first time, false afterwards (and cancels the timer).
+  [[nodiscard]] bool fire();
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+
+ private:
+  netsim::EventQueue& queue_;
+  std::optional<netsim::EventQueue::EventId> timer_;
+  bool fired_ = false;
+};
+
+// Classify a transport error string from the pool/TCP layer.
+[[nodiscard]] QueryErrorClass classify_transport_error(std::string_view detail) noexcept;
+
+}  // namespace ednsm::client

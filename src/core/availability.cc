@@ -1,0 +1,58 @@
+#include "core/availability.h"
+
+namespace ednsm::core {
+
+namespace {
+void bump(AvailabilityCounts& c, const ResultRecord& r) {
+  if (r.ok) {
+    ++c.successes;
+  } else {
+    ++c.errors;
+    ++c.errors_by_class[r.error_class.empty() ? "unknown" : r.error_class];
+  }
+}
+}  // namespace
+
+void AvailabilityLedger::record(const ResultRecord& r) {
+  bump(overall_, r);
+  bump(by_resolver_[r.resolver], r);
+  bump(by_pair_[{r.vantage, r.resolver}], r);
+}
+
+AvailabilityCounts AvailabilityLedger::per_resolver(const std::string& hostname) const {
+  const auto it = by_resolver_.find(hostname);
+  return it == by_resolver_.end() ? AvailabilityCounts{} : it->second;
+}
+
+AvailabilityCounts AvailabilityLedger::per_pair(const std::string& vantage,
+                                                const std::string& hostname) const {
+  const auto it = by_pair_.find({vantage, hostname});
+  return it == by_pair_.end() ? AvailabilityCounts{} : it->second;
+}
+
+bool AvailabilityLedger::unresponsive_from(const std::string& vantage,
+                                           const std::string& hostname) const {
+  const AvailabilityCounts c = per_pair(vantage, hostname);
+  return c.total() > 0 && c.successes == 0;
+}
+
+std::vector<std::string> AvailabilityLedger::resolvers() const {
+  std::vector<std::string> out;
+  out.reserve(by_resolver_.size());
+  for (const auto& [host, counts] : by_resolver_) out.push_back(host);
+  return out;
+}
+
+std::string AvailabilityLedger::dominant_error_class() const {
+  std::string best;
+  std::uint64_t best_count = 0;
+  for (const auto& [cls, count] : overall_.errors_by_class) {
+    if (count > best_count) {
+      best_count = count;
+      best = cls;
+    }
+  }
+  return best;
+}
+
+}  // namespace ednsm::core

@@ -1,0 +1,54 @@
+// AvailabilityLedger: the bookkeeping behind the paper's availability
+// analysis — "we received 5,098,281 successful responses and 311,351 errors.
+// The most common errors ... were related to a failure to establish a
+// connection", and the per-vantage unresponsiveness definition: "a resolver
+// is unresponsive from a given vantage point if we fail to receive any
+// response to the queries issued from a particular server."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+
+namespace ednsm::core {
+
+struct AvailabilityCounts {
+  std::uint64_t successes = 0;
+  std::uint64_t errors = 0;
+  std::map<std::string, std::uint64_t> errors_by_class;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return successes + errors; }
+  [[nodiscard]] double error_rate() const noexcept {
+    return total() == 0 ? 0.0 : static_cast<double>(errors) / static_cast<double>(total());
+  }
+};
+
+class AvailabilityLedger {
+ public:
+  void record(const ResultRecord& r);
+
+  [[nodiscard]] const AvailabilityCounts& overall() const noexcept { return overall_; }
+  [[nodiscard]] AvailabilityCounts per_resolver(const std::string& hostname) const;
+  [[nodiscard]] AvailabilityCounts per_pair(const std::string& vantage,
+                                            const std::string& hostname) const;
+
+  // The paper's unresponsiveness predicate.
+  [[nodiscard]] bool unresponsive_from(const std::string& vantage,
+                                       const std::string& hostname) const;
+
+  // Hostnames with at least one recorded query.
+  [[nodiscard]] std::vector<std::string> resolvers() const;
+
+  // Most common error class overall ("" when there are no errors).
+  [[nodiscard]] std::string dominant_error_class() const;
+
+ private:
+  AvailabilityCounts overall_;
+  std::map<std::string, AvailabilityCounts> by_resolver_;
+  std::map<std::pair<std::string, std::string>, AvailabilityCounts> by_pair_;
+};
+
+}  // namespace ednsm::core

@@ -1,0 +1,112 @@
+#include "core/campaign.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace ednsm::core {
+
+std::vector<double> CampaignResult::response_times(const std::string& vantage,
+                                                   const std::string& resolver) const {
+  std::vector<double> out;
+  for (const ResultRecord& r : records) {
+    if (r.ok && r.vantage == vantage && r.resolver == resolver) out.push_back(r.response_ms);
+  }
+  return out;
+}
+
+std::vector<double> CampaignResult::ping_times(const std::string& vantage,
+                                               const std::string& resolver) const {
+  std::vector<double> out;
+  for (const PingRecord& p : pings) {
+    if (p.ok && p.vantage == vantage && p.resolver == resolver) out.push_back(p.rtt_ms);
+  }
+  return out;
+}
+
+Json CampaignResult::to_json() const {
+  JsonObject o;
+  o["spec"] = spec.to_json();
+  JsonArray recs;
+  recs.reserve(records.size());
+  for (const ResultRecord& r : records) recs.push_back(r.to_json());
+  o["records"] = Json(std::move(recs));
+  JsonArray pngs;
+  pngs.reserve(pings.size());
+  for (const PingRecord& p : pings) pngs.push_back(p.to_json());
+  o["pings"] = Json(std::move(pngs));
+  return Json(std::move(o));
+}
+
+Result<CampaignResult> CampaignResult::from_json(const Json& j) {
+  if (!j.is_object()) return Err{std::string("campaign: not an object")};
+  CampaignResult out;
+  auto spec = MeasurementSpec::from_json(j.at("spec"));
+  if (!spec) return Err{spec.error()};
+  out.spec = std::move(spec).value();
+
+  if (!j.at("records").is_array()) return Err{std::string("campaign: missing records")};
+  for (const Json& e : j.at("records").as_array()) {
+    auto r = ResultRecord::from_json(e);
+    if (!r) return Err{r.error()};
+    out.availability.record(r.value());
+    out.records.push_back(std::move(r).value());
+  }
+  if (j.at("pings").is_array()) {
+    for (const Json& e : j.at("pings").as_array()) {
+      auto p = PingRecord::from_json(e);
+      if (!p) return Err{p.error()};
+      out.pings.push_back(std::move(p).value());
+    }
+  }
+  return out;
+}
+
+void CampaignResult::write_json(std::ostream& os, int indent) const {
+  os << to_json().dump(indent) << '\n';
+}
+
+CampaignRunner::CampaignRunner(SimWorld& world, MeasurementSpec spec)
+    : world_(world), spec_(std::move(spec)) {}
+
+CampaignResult CampaignRunner::run() {
+  if (auto v = spec_.validate(); !v) {
+    throw std::invalid_argument("CampaignRunner: invalid spec: " + v.error());
+  }
+
+  CampaignResult result;
+  result.spec = spec_;
+  const ProbeScheduler scheduler(spec_);
+  // Campaigns may run back-to-back in one world (the paper's monthly
+  // follow-up spans); schedule relative to the current simulated time.
+  const netsim::SimTime base = world_.queue().now();
+
+  // Touch every vantage up front so host attachment order (and therefore the
+  // RNG consumption order) is independent of round scheduling.
+  for (const std::string& vid : spec_.vantage_ids) (void)world_.vantage(vid);
+
+  for (int round = 0; round < spec_.rounds; ++round) {
+    for (std::size_t vi = 0; vi < spec_.vantage_ids.size(); ++vi) {
+      const std::string vantage_id = spec_.vantage_ids[vi];
+      const netsim::SimTime start = base + scheduler.round_start(round, vi);
+      world_.queue().schedule_at(start, [this, &result, vantage_id, round] {
+        for (const std::string& hostname : spec_.resolvers) {
+          PingProbe::run(world_, vantage_id, hostname, spec_.ping_timeout, round,
+                         [&result](PingRecord rec) { result.pings.push_back(std::move(rec)); });
+          DnsProbe::run(world_, vantage_id, hostname, spec_.domains, spec_.protocol,
+                        spec_.query_options, round,
+                        [&result](std::vector<ResultRecord> recs) {
+                          for (ResultRecord& r : recs) {
+                            result.availability.record(r);
+                            result.records.push_back(std::move(r));
+                          }
+                        });
+        }
+      });
+    }
+  }
+
+  world_.run();
+  return result;
+}
+
+}  // namespace ednsm::core

@@ -1,0 +1,54 @@
+// CampaignRunner: executes a MeasurementSpec end-to-end in a SimWorld.
+//
+// Per round and vantage, every resolver gets one PingProbe and one DnsProbe
+// (three domains, sequential) — the §3.2 measurement procedure. Probes to
+// different resolvers run concurrently, like the tool's per-resolver loop
+// pipelined across a round. Results accumulate into CampaignResult, which
+// can be serialized to the tool's JSON output format and re-loaded.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/availability.h"
+#include "core/probe.h"
+#include "core/scheduler.h"
+#include "core/spec.h"
+#include "core/world.h"
+
+namespace ednsm::core {
+
+struct CampaignResult {
+  MeasurementSpec spec;
+  std::vector<ResultRecord> records;
+  std::vector<PingRecord> pings;
+  AvailabilityLedger availability;
+
+  // Response-time samples (ms) for successful queries of one (vantage,
+  // resolver) pair; empty when none succeeded.
+  [[nodiscard]] std::vector<double> response_times(const std::string& vantage,
+                                                   const std::string& resolver) const;
+  [[nodiscard]] std::vector<double> ping_times(const std::string& vantage,
+                                               const std::string& resolver) const;
+
+  // The tool's JSON output (object with "spec", "records", "pings").
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static Result<CampaignResult> from_json(const Json& j);
+
+  void write_json(std::ostream& os, int indent = 2) const;
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(SimWorld& world, MeasurementSpec spec);
+
+  // Schedules all rounds and drains the event queue. Deterministic for a
+  // given (spec, world seed). Throws std::invalid_argument on a spec that
+  // fails validation (programming error at this layer).
+  [[nodiscard]] CampaignResult run();
+
+ private:
+  SimWorld& world_;
+  MeasurementSpec spec_;
+};
+
+}  // namespace ednsm::core

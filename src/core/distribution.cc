@@ -1,0 +1,187 @@
+#include "core/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/quantile.h"
+#include "util/bytes.h"
+
+namespace ednsm::core {
+
+std::string_view to_string(DistributionStrategy s) noexcept {
+  switch (s) {
+    case DistributionStrategy::SingleFastest: return "single-fastest";
+    case DistributionStrategy::RoundRobin: return "round-robin";
+    case DistributionStrategy::UniformRandom: return "uniform-random";
+    case DistributionStrategy::HashSharded: return "hash-sharded";
+    case DistributionStrategy::FastestK: return "fastest-k";
+  }
+  return "?";
+}
+
+// ---- privacy ledger ----------------------------------------------------------
+
+void PrivacyLedger::record(const std::string& resolver, const std::string& domain) {
+  ++queries_[resolver];
+  domains_[resolver].insert(domain);
+  all_domains_.insert(domain);
+  ++total_;
+}
+
+std::uint64_t PrivacyLedger::queries_seen(const std::string& resolver) const {
+  const auto it = queries_.find(resolver);
+  return it == queries_.end() ? 0 : it->second;
+}
+
+std::size_t PrivacyLedger::domains_seen(const std::string& resolver) const {
+  const auto it = domains_.find(resolver);
+  return it == domains_.end() ? 0 : it->second.size();
+}
+
+double PrivacyLedger::max_share() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t max_count = 0;
+  for (const auto& [r, n] : queries_) max_count = std::max(max_count, n);
+  return static_cast<double>(max_count) / static_cast<double>(total_);
+}
+
+double PrivacyLedger::entropy_bits() const {
+  if (total_ == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [r, n] : queries_) {
+    if (n == 0) continue;
+    const double p = static_cast<double>(n) / static_cast<double>(total_);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double PrivacyLedger::max_domain_coverage() const {
+  if (all_domains_.empty()) return 0.0;
+  std::size_t max_domains = 0;
+  for (const auto& [r, d] : domains_) max_domains = std::max(max_domains, d.size());
+  return static_cast<double>(max_domains) / static_cast<double>(all_domains_.size());
+}
+
+// ---- distributor ----------------------------------------------------------------
+
+QueryDistributor::QueryDistributor(SimWorld& world, std::string vantage_id,
+                                   std::vector<std::string> resolvers,
+                                   DistributorConfig config)
+    : world_(world),
+      vantage_id_(std::move(vantage_id)),
+      resolvers_(std::move(resolvers)),
+      config_(config),
+      rng_(config.seed) {
+  if (resolvers_.empty()) {
+    throw std::invalid_argument("QueryDistributor: empty resolver set");
+  }
+  auto& vantage = world_.vantage(vantage_id_);
+  doh_ = std::make_unique<client::DohClient>(world_.net(), *vantage.pool,
+                                             config_.query_options);
+  ranking_ = resolvers_;  // unranked until calibrate()
+}
+
+void QueryDistributor::calibrate(int probes) {
+  auto& vantage = world_.vantage(vantage_id_);
+  std::map<std::string, std::vector<double>> samples;
+  const dns::Name probe_name = dns::Name::parse("example.com").value();
+
+  for (int round = 0; round < probes; ++round) {
+    for (const std::string& host : resolvers_) {
+      const auto server = world_.fleet().address_for(host, vantage.info.location);
+      if (!server.has_value()) continue;
+      doh_->query(*server, host, probe_name, dns::RecordType::A,
+                  [&samples, host](client::QueryOutcome o) {
+                    if (o.ok) samples[host].push_back(netsim::to_ms(o.timing.total));
+                  });
+      world_.run();  // sequential probing, like the tool's measurement loop
+    }
+  }
+
+  std::vector<std::pair<double, std::string>> ranked;
+  for (const std::string& host : resolvers_) {
+    const auto it = samples.find(host);
+    const double med = (it == samples.end() || it->second.empty())
+                           ? std::numeric_limits<double>::max()
+                           : stats::median(it->second);
+    ranked.emplace_back(med, host);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  ranking_.clear();
+  for (auto& [med, host] : ranked) ranking_.push_back(std::move(host));
+}
+
+const std::string& QueryDistributor::pick(const std::string& domain) {
+  switch (config_.strategy) {
+    case DistributionStrategy::SingleFastest:
+      return ranking_.front();
+    case DistributionStrategy::RoundRobin: {
+      const std::string& chosen = resolvers_[round_robin_next_];
+      round_robin_next_ = (round_robin_next_ + 1) % resolvers_.size();
+      return chosen;
+    }
+    case DistributionStrategy::UniformRandom:
+      return resolvers_[rng_.uniform_u64(resolvers_.size())];
+    case DistributionStrategy::HashSharded:
+      // Stable per domain: each operator learns a fixed slice of the
+      // namespace, never the whole profile (the K-resolver idea).
+      return resolvers_[util::fnv1a(domain) % resolvers_.size()];
+    case DistributionStrategy::FastestK: {
+      const std::size_t k =
+          std::min<std::size_t>(static_cast<std::size_t>(std::max(config_.k, 1)),
+                                ranking_.size());
+      return ranking_[rng_.uniform_u64(k)];
+    }
+  }
+  return resolvers_.front();
+}
+
+void QueryDistributor::resolve(const std::string& domain, ResolveCallback cb) {
+  const std::string resolver = pick(domain);
+  privacy_.record(resolver, domain);
+
+  auto& vantage = world_.vantage(vantage_id_);
+  const auto server = world_.fleet().address_for(resolver, vantage.info.location);
+  auto name = dns::Name::parse(domain);
+  if (!server.has_value() || !name.has_value()) {
+    client::QueryOutcome fail;
+    fail.error = client::QueryError{client::QueryErrorClass::Malformed,
+                                    "distribution: bad domain or unknown resolver"};
+    cb(resolver, std::move(fail));
+    return;
+  }
+  doh_->query(*server, resolver, name.value(), dns::RecordType::A,
+              [resolver, cb = std::move(cb)](client::QueryOutcome o) {
+                cb(resolver, std::move(o));
+              });
+}
+
+// ---- workload --------------------------------------------------------------------
+
+std::vector<std::string> zipf_workload(std::size_t unique_domains, std::size_t queries,
+                                       double alpha, std::uint64_t seed) {
+  // Precompute the Zipf CDF over ranks 1..unique_domains.
+  std::vector<double> cdf(unique_domains);
+  double total = 0.0;
+  for (std::size_t rank = 1; rank <= unique_domains; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), alpha);
+    cdf[rank - 1] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  netsim::Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t rank = static_cast<std::size_t>(it - cdf.begin());
+    out.push_back("site" + std::to_string(rank) + ".example.com");
+  }
+  return out;
+}
+
+}  // namespace ednsm::core

@@ -1,0 +1,72 @@
+// Minimal JSON document model, writer, and parser.
+//
+// The paper's tool "writes the results to a JSON file"; this is that layer,
+// implemented from scratch (no third-party dependencies are available in the
+// build environment). Supports the full JSON grammar except for \u escapes
+// beyond the BMP-ASCII range (emitted as-is; parsed literally), which the
+// result schema never produces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ednsm::core {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;  // sorted keys: stable output
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const noexcept { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<JsonArray>(value_); }
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<JsonObject>(value_); }
+
+  // Typed accessors; throw std::bad_variant_access on type mismatch (caller bug).
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(value_); }
+  [[nodiscard]] const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+  [[nodiscard]] JsonArray& as_array() { return std::get<JsonArray>(value_); }
+  [[nodiscard]] const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+  [[nodiscard]] JsonObject& as_object() { return std::get<JsonObject>(value_); }
+
+  // Object field access; returns null Json for missing keys.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+
+  [[nodiscard]] bool operator==(const Json&) const = default;
+
+  // Serialize. indent 0 = compact; otherwise pretty-printed.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  [[nodiscard]] static Result<Json> parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+// Escape a string per JSON rules (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace ednsm::core

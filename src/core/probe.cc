@@ -1,0 +1,173 @@
+#include "core/probe.h"
+
+#include "client/do53.h"
+#include "client/doh.h"
+#include "client/doq.h"
+#include "client/dot.h"
+
+namespace ednsm::core {
+
+namespace {
+
+ResultRecord base_record(const std::string& vantage, const std::string& resolver,
+                         const std::string& domain, client::Protocol protocol, int round,
+                         double issued_at_ms) {
+  ResultRecord r;
+  r.vantage = vantage;
+  r.resolver = resolver;
+  r.domain = domain;
+  r.protocol = protocol;
+  r.round = round;
+  r.issued_at_ms = issued_at_ms;
+  return r;
+}
+
+ResultRecord from_outcome(ResultRecord r, const client::QueryOutcome& outcome) {
+  r.ok = outcome.ok;
+  r.response_ms = netsim::to_ms(outcome.timing.total);
+  r.connect_ms = netsim::to_ms(outcome.timing.connect);
+  r.connection_reused = outcome.timing.connection_reused;
+  r.http_status = outcome.http_status;
+  r.answer_count = static_cast<int>(outcome.answers.size());
+  if (outcome.ok) {
+    r.rcode = std::string(dns::to_string(outcome.rcode));
+  } else if (outcome.error.has_value()) {
+    r.error_class = std::string(client::to_string(outcome.error->error_class));
+    r.error_detail = outcome.error->detail;
+  }
+  return r;
+}
+
+// Sequential driver for one resolver's domain list. Owns the protocol client
+// so connection state lives exactly as long as the probe.
+struct ProbeChain : std::enable_shared_from_this<ProbeChain> {
+  SimWorld& world;
+  std::string vantage_id;
+  std::string hostname;
+  std::vector<std::string> domains;
+  client::Protocol protocol;
+  int round;
+  DnsProbe::Done done;
+
+  netsim::IpAddr server{};
+  std::unique_ptr<client::Do53Client> do53;
+  std::unique_ptr<client::DotClient> dot;
+  std::unique_ptr<client::DohClient> doh;
+  std::unique_ptr<client::DoqClient> doq;
+  std::vector<ResultRecord> records;
+
+  ProbeChain(SimWorld& w) : world(w), protocol(client::Protocol::DoH), round(0) {}
+
+  void next(std::size_t index) {
+    if (index >= domains.size()) {
+      done(std::move(records));
+      return;
+    }
+    const std::string& domain = domains[index];
+    auto name_r = dns::Name::parse(domain);
+    ResultRecord rec = base_record(vantage_id, hostname, domain, protocol, round,
+                                   netsim::to_ms(world.queue().now()));
+    if (!name_r) {
+      rec.ok = false;
+      rec.error_class = "malformed";
+      rec.error_detail = name_r.error();
+      records.push_back(std::move(rec));
+      next(index + 1);
+      return;
+    }
+    auto self = shared_from_this();
+    auto on_outcome = [self, rec = std::move(rec), index](client::QueryOutcome outcome) mutable {
+      self->records.push_back(from_outcome(std::move(rec), outcome));
+      self->next(index + 1);
+    };
+    switch (protocol) {
+      case client::Protocol::Do53:
+        do53->query(server, name_r.value(), dns::RecordType::A, std::move(on_outcome));
+        break;
+      case client::Protocol::DoT:
+        dot->query(server, hostname, name_r.value(), dns::RecordType::A, std::move(on_outcome));
+        break;
+      case client::Protocol::DoH:
+        doh->query(server, hostname, name_r.value(), dns::RecordType::A, std::move(on_outcome));
+        break;
+      case client::Protocol::DoQ:
+        doq->query(server, hostname, name_r.value(), dns::RecordType::A, std::move(on_outcome));
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+void DnsProbe::run(SimWorld& world, const std::string& vantage_id,
+                   const std::string& resolver_hostname,
+                   const std::vector<std::string>& domains, client::Protocol protocol,
+                   const client::QueryOptions& options, int round, Done done) {
+  auto chain = std::make_shared<ProbeChain>(world);
+  chain->vantage_id = vantage_id;
+  chain->hostname = resolver_hostname;
+  chain->domains = domains;
+  chain->protocol = protocol;
+  chain->round = round;
+  chain->done = std::move(done);
+
+  SimWorld::Vantage& vantage = world.vantage(vantage_id);
+  const auto server = world.fleet().address_for(resolver_hostname, vantage.info.location);
+  if (!server.has_value()) {
+    // Unknown hostname: every domain fails immediately with a resolution
+    // error, analogous to a bootstrap DNS failure for the resolver itself.
+    for (const std::string& domain : domains) {
+      ResultRecord rec = base_record(vantage_id, resolver_hostname, domain, protocol, round,
+                                     netsim::to_ms(world.queue().now()));
+      rec.error_class = "bootstrap-failure";
+      rec.error_detail = "resolver hostname not in registry";
+      chain->records.push_back(std::move(rec));
+    }
+    chain->done(std::move(chain->records));
+    return;
+  }
+
+  chain->server = *server;
+  switch (protocol) {
+    case client::Protocol::Do53:
+      chain->do53 = std::make_unique<client::Do53Client>(world.net(), vantage.addr, options);
+      break;
+    case client::Protocol::DoT:
+      chain->dot = std::make_unique<client::DotClient>(world.net(), *vantage.pool, options);
+      break;
+    case client::Protocol::DoH:
+      chain->doh = std::make_unique<client::DohClient>(world.net(), *vantage.pool, options);
+      break;
+    case client::Protocol::DoQ:
+      chain->doq = std::make_unique<client::DoqClient>(world.net(), vantage.addr, options);
+      break;
+  }
+  chain->next(0);
+}
+
+void PingProbe::run(SimWorld& world, const std::string& vantage_id,
+                    const std::string& resolver_hostname, netsim::SimDuration timeout,
+                    int round, Done done) {
+  PingRecord rec;
+  rec.vantage = vantage_id;
+  rec.resolver = resolver_hostname;
+  rec.round = round;
+
+  SimWorld::Vantage& vantage = world.vantage(vantage_id);
+  const auto server = world.fleet().address_for(resolver_hostname, vantage.info.location);
+  if (!server.has_value()) {
+    done(std::move(rec));  // unknown host: no reply
+    return;
+  }
+  world.net().ping(vantage.addr, *server, timeout,
+                   [rec = std::move(rec), done = std::move(done)](
+                       std::optional<netsim::SimDuration> rtt) mutable {
+                     if (rtt.has_value()) {
+                       rec.ok = true;
+                       rec.rtt_ms = netsim::to_ms(*rtt);
+                     }
+                     done(std::move(rec));
+                   });
+}
+
+}  // namespace ednsm::core

@@ -1,0 +1,42 @@
+// Probes: the two measurement primitives from §3.2's procedure —
+//   (1) "for each resolver, perform a dig query, measuring the query
+//        response time for three domain names" (DnsProbe), and
+//   (2) "for each resolver, issue a ICMP ping probe and collect the
+//        round-trip latency" (PingProbe).
+//
+// A DnsProbe runs its domain queries *sequentially* (like the tool's dig
+// loop), producing one ResultRecord per domain.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/spec.h"
+#include "core/world.h"
+
+namespace ednsm::core {
+
+class DnsProbe {
+ public:
+  using Done = std::function<void(std::vector<ResultRecord>)>;
+
+  // Measures `resolver_hostname` from `vantage_id` for every domain in
+  // `domains`, using `protocol` and `options`. The callback receives one
+  // record per domain (in order) once all queries resolve. `round` is
+  // stamped into the records.
+  static void run(SimWorld& world, const std::string& vantage_id,
+                  const std::string& resolver_hostname, const std::vector<std::string>& domains,
+                  client::Protocol protocol, const client::QueryOptions& options, int round,
+                  Done done);
+};
+
+class PingProbe {
+ public:
+  using Done = std::function<void(PingRecord)>;
+
+  static void run(SimWorld& world, const std::string& vantage_id,
+                  const std::string& resolver_hostname, netsim::SimDuration timeout, int round,
+                  Done done);
+};
+
+}  // namespace ednsm::core

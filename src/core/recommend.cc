@@ -1,0 +1,84 @@
+#include "core/recommend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resolver/registry.h"
+#include "stats/quantile.h"
+
+namespace ednsm::core {
+
+std::string_view to_string(RejectionReason r) noexcept {
+  switch (r) {
+    case RejectionReason::TooFewSamples: return "too-few-samples";
+    case RejectionReason::MedianTooHigh: return "median-too-high";
+    case RejectionReason::TailTooHigh: return "tail-too-high";
+    case RejectionReason::TooUnreliable: return "too-unreliable";
+    case RejectionReason::MainstreamExcluded: return "mainstream-excluded";
+  }
+  return "?";
+}
+
+std::optional<Recommendation> RecommendationReport::best_alternative() const {
+  for (const Recommendation& r : ranked) {
+    if (!r.mainstream) return r;
+  }
+  return std::nullopt;
+}
+
+RecommendationReport recommend_resolvers(const CampaignResult& result,
+                                         const std::string& vantage_id,
+                                         const RecommendCriteria& criteria) {
+  RecommendationReport report;
+
+  for (const std::string& host : result.spec.resolvers) {
+    const resolver::ResolverSpec* spec = resolver::find_resolver(host);
+    const bool mainstream = spec != nullptr && spec->mainstream;
+
+    if (criteria.exclude_mainstream && mainstream) {
+      report.rejected.push_back({host, RejectionReason::MainstreamExcluded});
+      continue;
+    }
+
+    const std::vector<double> samples = result.response_times(vantage_id, host);
+    const AvailabilityCounts counts = result.availability.per_pair(vantage_id, host);
+    if (samples.size() < criteria.min_samples) {
+      report.rejected.push_back({host, RejectionReason::TooFewSamples});
+      continue;
+    }
+
+    Recommendation rec;
+    rec.hostname = host;
+    rec.mainstream = mainstream;
+    rec.median_ms = stats::median(samples);
+    rec.p90_ms = stats::quantile(samples, 0.9);
+    rec.error_rate = counts.error_rate();
+    rec.samples = samples.size();
+
+    if (rec.median_ms > criteria.max_median_ms) {
+      report.rejected.push_back({host, RejectionReason::MedianTooHigh});
+      continue;
+    }
+    if (rec.p90_ms > criteria.max_p90_ms) {
+      report.rejected.push_back({host, RejectionReason::TailTooHigh});
+      continue;
+    }
+    if (rec.error_rate > criteria.max_error_rate) {
+      report.rejected.push_back({host, RejectionReason::TooUnreliable});
+      continue;
+    }
+
+    rec.score = criteria.weight_median * rec.median_ms + criteria.weight_p90 * rec.p90_ms +
+                criteria.weight_error_rate * rec.error_rate * 100.0;
+    report.ranked.push_back(std::move(rec));
+  }
+
+  std::sort(report.ranked.begin(), report.ranked.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.hostname < b.hostname;
+            });
+  return report;
+}
+
+}  // namespace ednsm::core

@@ -1,0 +1,71 @@
+// Resolver recommendation: turn measurement results into a ranked shortlist.
+//
+// The paper's conclusion is an unsolved UX problem: "users need easy ways of
+// finding and selecting these alternatives, whose availability and
+// performance may be more variable over time than mainstream resolvers."
+// This module is that selection logic as a library API — score every measured
+// resolver from one vantage on median latency, tail, and reliability, filter
+// by hard criteria, and return a ranked list with the reasons attached.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace ednsm::core {
+
+struct RecommendCriteria {
+  double max_median_ms = 100.0;     // daily-driver latency bar
+  double max_p90_ms = 250.0;        // tail bar
+  double max_error_rate = 0.05;     // reliability bar
+  std::size_t min_samples = 3;      // below this we refuse to judge
+  bool exclude_mainstream = false;  // "alternatives only" mode
+  // Scoring weights (normalized internally): lower score = better.
+  double weight_median = 1.0;
+  double weight_p90 = 0.5;
+  double weight_error_rate = 200.0;  // 1% error ~ 2 ms of median
+};
+
+struct Recommendation {
+  std::string hostname;
+  bool mainstream = false;
+  double median_ms = 0;
+  double p90_ms = 0;
+  double error_rate = 0;
+  std::size_t samples = 0;
+  double score = 0;  // lower is better
+};
+
+enum class RejectionReason {
+  TooFewSamples,
+  MedianTooHigh,
+  TailTooHigh,
+  TooUnreliable,
+  MainstreamExcluded,
+};
+
+[[nodiscard]] std::string_view to_string(RejectionReason r) noexcept;
+
+struct Rejection {
+  std::string hostname;
+  RejectionReason reason = RejectionReason::TooFewSamples;
+};
+
+struct RecommendationReport {
+  std::vector<Recommendation> ranked;  // best first
+  std::vector<Rejection> rejected;
+
+  // The best non-mainstream option, if any survived (the paper's question:
+  // do viable alternatives exist from this vantage?).
+  [[nodiscard]] std::optional<Recommendation> best_alternative() const;
+};
+
+// Evaluate every resolver in `result.spec.resolvers` as seen from
+// `vantage_id`. Deterministic; pure function of the result.
+[[nodiscard]] RecommendationReport recommend_resolvers(const CampaignResult& result,
+                                                       const std::string& vantage_id,
+                                                       const RecommendCriteria& criteria = {});
+
+}  // namespace ednsm::core

@@ -1,0 +1,34 @@
+// ProbeScheduler: turns a MeasurementSpec into the timeline of measurement
+// rounds. The paper ran tests "every few hours" on the home devices and
+// "three times a day" on EC2; rounds here are spaced by spec.round_interval
+// with a small per-vantage stagger so devices do not probe in lockstep.
+#pragma once
+
+#include <vector>
+
+#include "core/spec.h"
+
+namespace ednsm::core {
+
+class ProbeScheduler {
+ public:
+  explicit ProbeScheduler(const MeasurementSpec& spec) : spec_(spec) {}
+
+  // Start time of `round` (0-based) for the vantage at `vantage_index`.
+  [[nodiscard]] netsim::SimTime round_start(int round, std::size_t vantage_index) const;
+
+  // All round start times for one vantage.
+  [[nodiscard]] std::vector<netsim::SimTime> timeline(std::size_t vantage_index) const;
+
+  // Total campaign duration (last round start + one interval).
+  [[nodiscard]] netsim::SimDuration span() const;
+
+ private:
+  const MeasurementSpec& spec_;
+  // Home devices and EC2 instances should not fire at the same instant;
+  // 97 s of stagger per vantage keeps rounds disjoint without overlapping
+  // the next round at realistic intervals.
+  static constexpr netsim::SimDuration kVantageStagger = std::chrono::seconds(97);
+};
+
+}  // namespace ednsm::core

@@ -1,0 +1,187 @@
+#include "core/spec.h"
+
+namespace ednsm::core {
+
+namespace {
+
+Json string_array(const std::vector<std::string>& v) {
+  JsonArray arr;
+  arr.reserve(v.size());
+  for (const std::string& s : v) arr.emplace_back(s);
+  return Json(std::move(arr));
+}
+
+Result<std::vector<std::string>> parse_string_array(const Json& j, const char* what) {
+  if (!j.is_array()) return Err{std::string("spec: ") + what + " must be an array"};
+  std::vector<std::string> out;
+  for (const Json& e : j.as_array()) {
+    if (!e.is_string()) return Err{std::string("spec: ") + what + " entries must be strings"};
+    out.push_back(e.as_string());
+  }
+  return out;
+}
+
+std::string_view protocol_name(client::Protocol p) { return client::to_string(p); }
+
+Result<client::Protocol> parse_protocol(const std::string& s) {
+  if (s == "Do53") return client::Protocol::Do53;
+  if (s == "DoT") return client::Protocol::DoT;
+  if (s == "DoH") return client::Protocol::DoH;
+  if (s == "DoQ") return client::Protocol::DoQ;
+  return Err{std::string("spec: unknown protocol '") + s + "'"};
+}
+
+}  // namespace
+
+Result<void> MeasurementSpec::validate() const {
+  if (resolvers.empty()) return Err{std::string("spec: no resolvers")};
+  if (domains.empty()) return Err{std::string("spec: no domains")};
+  if (vantage_ids.empty()) return Err{std::string("spec: no vantage points")};
+  if (rounds <= 0) return Err{std::string("spec: rounds must be positive")};
+  if (round_interval <= netsim::kZeroDuration) {
+    return Err{std::string("spec: round interval must be positive")};
+  }
+  if (query_options.timeout <= netsim::kZeroDuration) {
+    return Err{std::string("spec: query timeout must be positive")};
+  }
+  return {};
+}
+
+Json MeasurementSpec::to_json() const {
+  JsonObject o;
+  o["resolvers"] = string_array(resolvers);
+  o["domains"] = string_array(domains);
+  o["vantage_ids"] = string_array(vantage_ids);
+  o["protocol"] = std::string(protocol_name(protocol));
+  o["rounds"] = rounds;
+  o["round_interval_s"] =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::seconds>(round_interval).count());
+  o["timeout_ms"] = netsim::to_ms(query_options.timeout);
+  o["reuse"] = std::string(transport::to_string(query_options.reuse));
+  o["use_post"] = query_options.use_post;
+  o["use_http2"] = query_options.use_http2;
+  o["seed"] = seed;
+  return Json(std::move(o));
+}
+
+Result<MeasurementSpec> MeasurementSpec::from_json(const Json& j) {
+  MeasurementSpec spec;
+  auto resolvers = parse_string_array(j.at("resolvers"), "resolvers");
+  if (!resolvers) return Err{resolvers.error()};
+  spec.resolvers = std::move(resolvers).value();
+  auto domains = parse_string_array(j.at("domains"), "domains");
+  if (!domains) return Err{domains.error()};
+  spec.domains = std::move(domains).value();
+  auto vantages = parse_string_array(j.at("vantage_ids"), "vantage_ids");
+  if (!vantages) return Err{vantages.error()};
+  spec.vantage_ids = std::move(vantages).value();
+
+  if (!j.at("protocol").is_string()) return Err{std::string("spec: missing protocol")};
+  auto proto = parse_protocol(j.at("protocol").as_string());
+  if (!proto) return Err{proto.error()};
+  spec.protocol = proto.value();
+
+  if (j.at("rounds").is_number()) spec.rounds = static_cast<int>(j.at("rounds").as_number());
+  if (j.at("round_interval_s").is_number()) {
+    spec.round_interval =
+        std::chrono::seconds(static_cast<std::int64_t>(j.at("round_interval_s").as_number()));
+  }
+  if (j.at("timeout_ms").is_number()) {
+    spec.query_options.timeout = netsim::from_ms(j.at("timeout_ms").as_number());
+  }
+  if (j.at("use_post").is_bool()) spec.query_options.use_post = j.at("use_post").as_bool();
+  if (j.at("use_http2").is_bool()) spec.query_options.use_http2 = j.at("use_http2").as_bool();
+  if (j.at("reuse").is_string()) {
+    const std::string& r = j.at("reuse").as_string();
+    if (r == "none") spec.query_options.reuse = transport::ReusePolicy::None;
+    else if (r == "keepalive") spec.query_options.reuse = transport::ReusePolicy::Keepalive;
+    else if (r == "ticket-resumption") {
+      spec.query_options.reuse = transport::ReusePolicy::TicketResumption;
+    } else {
+      return Err{std::string("spec: unknown reuse policy '") + r + "'"};
+    }
+  }
+  if (j.at("seed").is_number()) spec.seed = static_cast<std::uint64_t>(j.at("seed").as_number());
+
+  if (auto v = spec.validate(); !v) return Err{v.error()};
+  return spec;
+}
+
+Json ResultRecord::to_json() const {
+  JsonObject o;
+  o["vantage"] = vantage;
+  o["resolver"] = resolver;
+  o["domain"] = domain;
+  o["protocol"] = std::string(protocol_name(protocol));
+  o["round"] = round;
+  o["issued_at_ms"] = issued_at_ms;
+  o["ok"] = ok;
+  o["response_ms"] = response_ms;
+  o["connect_ms"] = connect_ms;
+  o["reused"] = connection_reused;
+  if (ok) o["rcode"] = rcode;
+  if (!ok) {
+    o["error_class"] = error_class;
+    o["error_detail"] = error_detail;
+  }
+  if (http_status != 0) o["http_status"] = http_status;
+  o["answers"] = answer_count;
+  return Json(std::move(o));
+}
+
+Result<ResultRecord> ResultRecord::from_json(const Json& j) {
+  if (!j.is_object()) return Err{std::string("record: not an object")};
+  ResultRecord r;
+  if (!j.at("vantage").is_string() || !j.at("resolver").is_string() ||
+      !j.at("domain").is_string() || !j.at("ok").is_bool()) {
+    return Err{std::string("record: missing required fields")};
+  }
+  r.vantage = j.at("vantage").as_string();
+  r.resolver = j.at("resolver").as_string();
+  r.domain = j.at("domain").as_string();
+  if (j.at("protocol").is_string()) {
+    auto p = parse_protocol(j.at("protocol").as_string());
+    if (!p) return Err{p.error()};
+    r.protocol = p.value();
+  }
+  r.ok = j.at("ok").as_bool();
+  if (j.at("round").is_number()) r.round = static_cast<int>(j.at("round").as_number());
+  if (j.at("issued_at_ms").is_number()) r.issued_at_ms = j.at("issued_at_ms").as_number();
+  if (j.at("response_ms").is_number()) r.response_ms = j.at("response_ms").as_number();
+  if (j.at("connect_ms").is_number()) r.connect_ms = j.at("connect_ms").as_number();
+  if (j.at("reused").is_bool()) r.connection_reused = j.at("reused").as_bool();
+  if (j.at("rcode").is_string()) r.rcode = j.at("rcode").as_string();
+  if (j.at("error_class").is_string()) r.error_class = j.at("error_class").as_string();
+  if (j.at("error_detail").is_string()) r.error_detail = j.at("error_detail").as_string();
+  if (j.at("http_status").is_number()) {
+    r.http_status = static_cast<int>(j.at("http_status").as_number());
+  }
+  if (j.at("answers").is_number()) r.answer_count = static_cast<int>(j.at("answers").as_number());
+  return r;
+}
+
+Json PingRecord::to_json() const {
+  JsonObject o;
+  o["vantage"] = vantage;
+  o["resolver"] = resolver;
+  o["round"] = round;
+  o["ok"] = ok;
+  if (ok) o["rtt_ms"] = rtt_ms;
+  return Json(std::move(o));
+}
+
+Result<PingRecord> PingRecord::from_json(const Json& j) {
+  if (!j.is_object()) return Err{std::string("ping: not an object")};
+  PingRecord p;
+  if (!j.at("vantage").is_string() || !j.at("resolver").is_string() || !j.at("ok").is_bool()) {
+    return Err{std::string("ping: missing required fields")};
+  }
+  p.vantage = j.at("vantage").as_string();
+  p.resolver = j.at("resolver").as_string();
+  p.ok = j.at("ok").as_bool();
+  if (j.at("round").is_number()) p.round = static_cast<int>(j.at("round").as_number());
+  if (j.at("rtt_ms").is_number()) p.rtt_ms = j.at("rtt_ms").as_number();
+  return p;
+}
+
+}  // namespace ednsm::core

@@ -1,0 +1,71 @@
+// MeasurementSpec — what to measure — and the result records the tool emits.
+//
+// This mirrors the paper's tool: "clients provide a list of DoH resolvers
+// they wish to perform measurements with. After a set of measurements
+// complete with a list of DoH resolvers and domain names, the tool writes
+// the results to a JSON file."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "client/query.h"
+#include "core/json.h"
+#include "netsim/time.h"
+
+namespace ednsm::core {
+
+struct MeasurementSpec {
+  std::vector<std::string> resolvers;  // hostnames from the registry
+  std::vector<std::string> domains = {"google.com", "amazon.com", "wikipedia.com"};
+  std::vector<std::string> vantage_ids;  // geo::paper_vantage_points() ids
+  client::Protocol protocol = client::Protocol::DoH;
+  client::QueryOptions query_options;
+  int rounds = 10;
+  netsim::SimDuration round_interval = std::chrono::hours(8);  // "three times a day"
+  netsim::SimDuration ping_timeout = std::chrono::seconds(3);
+  std::uint64_t seed = 1;
+
+  // Validate invariants (non-empty lists, positive rounds); returns an
+  // explanation on failure.
+  [[nodiscard]] Result<void> validate() const;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static Result<MeasurementSpec> from_json(const Json& j);
+};
+
+// One DNS query result.
+struct ResultRecord {
+  std::string vantage;
+  std::string resolver;
+  std::string domain;
+  client::Protocol protocol = client::Protocol::DoH;
+  int round = 0;
+  double issued_at_ms = 0;     // simulation time
+  bool ok = false;
+  double response_ms = 0;      // end-to-end query response time
+  double connect_ms = 0;       // connection-establishment share
+  bool connection_reused = false;
+  std::string rcode;           // "NOERROR", ... (when ok)
+  std::string error_class;     // "connect-timeout", ... (when !ok)
+  std::string error_detail;
+  int http_status = 0;
+  int answer_count = 0;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static Result<ResultRecord> from_json(const Json& j);
+};
+
+// One ICMP probe result.
+struct PingRecord {
+  std::string vantage;
+  std::string resolver;
+  int round = 0;
+  bool ok = false;
+  double rtt_ms = 0;  // valid when ok
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static Result<PingRecord> from_json(const Json& j);
+};
+
+}  // namespace ednsm::core

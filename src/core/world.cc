@@ -1,0 +1,28 @@
+#include "core/world.h"
+
+namespace ednsm::core {
+
+SimWorld::SimWorld(std::uint64_t seed) : SimWorld(seed, resolver::paper_resolver_list()) {}
+
+SimWorld::SimWorld(std::uint64_t seed, const std::vector<resolver::ResolverSpec>& specs) {
+  net_ = std::make_unique<netsim::Network>(queue_, netsim::Rng(seed));
+  fleet_ = std::make_unique<resolver::ResolverFleet>(*net_, specs);
+}
+
+SimWorld::Vantage& SimWorld::vantage(const std::string& id) {
+  const auto it = vantages_.find(id);
+  if (it != vantages_.end()) return it->second;
+
+  const geo::VantagePoint& vp = geo::vantage_by_id(id);
+  const netsim::AccessLinkModel access = vp.is_home()
+                                             ? netsim::AccessLinkModel::residential()
+                                             : netsim::AccessLinkModel::datacenter();
+  Vantage v;
+  v.info = vp;
+  v.addr = net_->attach("vantage/" + id, vp.location, access);
+  v.pool = std::make_unique<transport::ConnectionPool>(*net_, v.addr);
+  fleet_->apply_quirks(v.addr, id);
+  return vantages_.emplace(id, std::move(v)).first->second;
+}
+
+}  // namespace ednsm::core

@@ -1,0 +1,53 @@
+// SimWorld: the fully assembled simulated internet — event queue, network,
+// resolver fleet, and vantage hosts with their connection pools. Everything a
+// campaign or example needs, built from a seed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "geo/vantage.h"
+#include "netsim/event_queue.h"
+#include "netsim/network.h"
+#include "resolver/registry.h"
+#include "transport/pool.h"
+
+namespace ednsm::core {
+
+class SimWorld {
+ public:
+  // Builds the network and instantiates every resolver in `specs`
+  // (default: the paper's full Appendix A.2 population).
+  explicit SimWorld(std::uint64_t seed);
+  SimWorld(std::uint64_t seed, const std::vector<resolver::ResolverSpec>& specs);
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  [[nodiscard]] netsim::EventQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] netsim::Network& net() noexcept { return *net_; }
+  [[nodiscard]] resolver::ResolverFleet& fleet() noexcept { return *fleet_; }
+
+  struct Vantage {
+    geo::VantagePoint info;
+    netsim::IpAddr addr;
+    std::unique_ptr<transport::ConnectionPool> pool;
+  };
+
+  // Attach (on first use) and return the vantage host for `id`; applies the
+  // registry's per-vantage path quirks. Throws std::out_of_range for ids not
+  // in geo::paper_vantage_points().
+  [[nodiscard]] Vantage& vantage(const std::string& id);
+
+  // Run the simulation until no events remain; returns events executed.
+  std::size_t run() { return queue_.run_until_idle(); }
+
+ private:
+  netsim::EventQueue queue_;
+  std::unique_ptr<netsim::Network> net_;
+  std::unique_ptr<resolver::ResolverFleet> fleet_;
+  std::map<std::string, Vantage> vantages_;
+};
+
+}  // namespace ednsm::core

@@ -1,0 +1,73 @@
+#include "dns/base64url.h"
+
+#include <array>
+
+namespace ednsm::dns {
+
+namespace {
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+constexpr std::array<std::int8_t, 256> make_decode_table() {
+  std::array<std::int8_t, 256> t{};
+  for (auto& v : t) v = -1;
+  for (int i = 0; i < 64; ++i) t[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return t;
+}
+constexpr auto kDecode = make_decode_table();
+}  // namespace
+
+std::string base64url_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+    i += 3;
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+  }
+  return out;
+}
+
+Result<util::Bytes> base64url_decode(std::string_view text) {
+  // Lengths of 1 mod 4 cannot arise from any byte sequence.
+  if (text.size() % 4 == 1) return Err{std::string("base64url: invalid length")};
+  util::Bytes out;
+  out.reserve(text.size() / 4 * 3 + 2);
+
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    const std::int8_t v = kDecode[static_cast<unsigned char>(c)];
+    if (v < 0) return Err{std::string("base64url: invalid character")};
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  // Leftover bits must be zero (canonical encoding).
+  if (bits > 0 && (acc & ((1u << bits) - 1)) != 0) {
+    return Err{std::string("base64url: non-canonical trailing bits")};
+  }
+  return out;
+}
+
+}  // namespace ednsm::dns

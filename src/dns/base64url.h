@@ -1,0 +1,19 @@
+// base64url without padding (RFC 4648 §5), as required by the DoH GET
+// wire format (RFC 8484 §4.1: the 'dns' query parameter).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ednsm::dns {
+
+[[nodiscard]] std::string base64url_encode(std::span<const std::uint8_t> data);
+
+// Rejects padding characters, whitespace, and non-alphabet characters, per
+// RFC 8484's "base64url with padding characters omitted".
+[[nodiscard]] Result<util::Bytes> base64url_decode(std::string_view text);
+
+}  // namespace ednsm::dns

@@ -1,0 +1,65 @@
+#include "dns/edns.h"
+
+namespace ednsm::dns {
+
+void EdnsInfo::pad_to_block(std::size_t current_size_without_padding, std::size_t block) {
+  if (block == 0) return;
+  // Size once this OPT (without a padding option) is appended.
+  const std::size_t base = current_size_without_padding + wire_length();
+  // A padding option itself costs 4 octets of option header.
+  const std::size_t with_empty_pad = base + 4;
+  const std::size_t target = ((with_empty_pad + block - 1) / block) * block;
+  EdnsOption pad;
+  pad.code = static_cast<std::uint16_t>(OptionCode::Padding);
+  pad.data.assign(target - with_empty_pad, 0);
+  options.push_back(std::move(pad));
+}
+
+std::size_t EdnsInfo::wire_length() const noexcept {
+  // root(1) + TYPE(2) + CLASS(2) + TTL(4) + RDLENGTH(2) + options
+  std::size_t len = 11;
+  for (const EdnsOption& o : options) len += 4 + o.data.size();
+  return len;
+}
+
+void write_opt_rr(WireWriter& w, const EdnsInfo& info) {
+  w.u8(0);  // root owner name
+  w.u16(41);  // TYPE = OPT
+  w.u16(info.udp_payload_size);  // CLASS carries the UDP payload size
+  const std::uint32_t ttl = (static_cast<std::uint32_t>(info.extended_rcode_high) << 24) |
+                            (static_cast<std::uint32_t>(info.version) << 16) |
+                            (info.dnssec_ok ? 0x8000u : 0u);
+  w.u32(ttl);
+  std::size_t rdlen = 0;
+  for (const EdnsOption& o : info.options) rdlen += 4 + o.data.size();
+  w.u16(static_cast<std::uint16_t>(rdlen));
+  for (const EdnsOption& o : info.options) {
+    w.u16(o.code);
+    w.u16(static_cast<std::uint16_t>(o.data.size()));
+    w.bytes(o.data);
+  }
+}
+
+Result<EdnsInfo> parse_opt_rr(std::uint16_t rr_class, std::uint32_t ttl,
+                              std::span<const std::uint8_t> rdata) {
+  EdnsInfo info;
+  info.udp_payload_size = rr_class;
+  info.extended_rcode_high = static_cast<std::uint8_t>(ttl >> 24);
+  info.version = static_cast<std::uint8_t>((ttl >> 16) & 0xff);
+  if (info.version != 0) return Err{std::string("edns: unsupported version")};
+  info.dnssec_ok = (ttl & 0x8000u) != 0;
+
+  WireReader r(rdata);
+  while (!r.at_end()) {
+    auto code = r.u16();
+    if (!code) return Err{code.error()};
+    auto len = r.u16();
+    if (!len) return Err{len.error()};
+    auto data = r.bytes(len.value());
+    if (!data) return Err{std::string("edns: truncated option")};
+    info.options.push_back(EdnsOption{code.value(), std::move(data).value()});
+  }
+  return info;
+}
+
+}  // namespace ednsm::dns

@@ -1,0 +1,50 @@
+// EDNS(0) OPT pseudo-RR (RFC 6891) and the options we use:
+//   - Padding (RFC 7830), recommended for encrypted transports so message
+//     sizes do not leak query identity (RFC 8467 gives the block sizes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/wire.h"
+#include "util/result.h"
+
+namespace ednsm::dns {
+
+enum class OptionCode : std::uint16_t {
+  Padding = 12,  // RFC 7830
+};
+
+struct EdnsOption {
+  std::uint16_t code = 0;
+  util::Bytes data;
+
+  [[nodiscard]] bool operator==(const EdnsOption&) const = default;
+};
+
+struct EdnsInfo {
+  std::uint16_t udp_payload_size = 1232;  // DNS-flag-day-2020 recommendation
+  std::uint8_t extended_rcode_high = 0;
+  std::uint8_t version = 0;
+  bool dnssec_ok = false;
+  std::vector<EdnsOption> options;
+
+  [[nodiscard]] bool operator==(const EdnsInfo&) const = default;
+
+  // Append padding so the whole message (current_size + this OPT) rounds up
+  // to a multiple of `block` octets (RFC 8467 recommends 128 for queries).
+  void pad_to_block(std::size_t current_size_without_padding, std::size_t block);
+
+  // Wire length of the OPT RR this info encodes to.
+  [[nodiscard]] std::size_t wire_length() const noexcept;
+};
+
+// Encode as a complete OPT RR (root owner name included).
+void write_opt_rr(WireWriter& w, const EdnsInfo& info);
+
+// Decode the RDATA + header fields of an OPT RR whose owner name and TYPE
+// have already been consumed. `rr_class`/`ttl` are the raw header fields.
+[[nodiscard]] Result<EdnsInfo> parse_opt_rr(std::uint16_t rr_class, std::uint32_t ttl,
+                                            std::span<const std::uint8_t> rdata);
+
+}  // namespace ednsm::dns

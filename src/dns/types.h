@@ -1,0 +1,61 @@
+// DNS protocol enumerations (RFC 1035, RFC 6891, RFC 8484) and their string
+// forms. Values are the on-the-wire code points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ednsm::dns {
+
+enum class RecordType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  SRV = 33,
+  OPT = 41,    // EDNS0 pseudo-RR (RFC 6891)
+  SVCB = 64,
+  HTTPS = 65,
+  ANY = 255,
+};
+
+enum class RecordClass : std::uint16_t {
+  IN = 1,
+  CH = 3,
+  ANY = 255,
+};
+
+enum class Opcode : std::uint8_t {
+  Query = 0,
+  IQuery = 1,
+  Status = 2,
+  Notify = 4,
+  Update = 5,
+};
+
+enum class Rcode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+[[nodiscard]] std::string_view to_string(RecordType t) noexcept;
+[[nodiscard]] std::string_view to_string(RecordClass c) noexcept;
+[[nodiscard]] std::string_view to_string(Opcode o) noexcept;
+[[nodiscard]] std::string_view to_string(Rcode r) noexcept;
+
+// Parse "A"/"AAAA"/... (case-insensitive). Returns false for unknown names.
+[[nodiscard]] bool parse_record_type(std::string_view name, RecordType& out) noexcept;
+
+// True for types that may appear in a question section in this toolkit.
+[[nodiscard]] bool is_query_type(RecordType t) noexcept;
+
+}  // namespace ednsm::dns

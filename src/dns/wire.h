@@ -1,0 +1,58 @@
+// Big-endian wire primitives shared by the DNS codec.
+//
+// WireWriter owns a growing buffer; WireReader is a bounds-checked cursor
+// over a caller-owned span. Reader failures are reported through Result so
+// malformed network input can never throw.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ednsm::dns {
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  // Overwrite a previously written u16 (used to backpatch RDLENGTH).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const util::Bytes& data() const noexcept { return buf_; }
+  [[nodiscard]] util::Bytes take() && noexcept { return std::move(buf_); }
+
+ private:
+  util::Bytes buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> u8();
+  [[nodiscard]] Result<std::uint16_t> u16();
+  [[nodiscard]] Result<std::uint32_t> u32();
+  [[nodiscard]] Result<util::Bytes> bytes(std::size_t n);
+
+  // Random access (name decompression follows pointers backwards).
+  [[nodiscard]] std::span<const std::uint8_t> whole() const noexcept { return data_; }
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  // Move the cursor; rejected if the target is outside the buffer.
+  [[nodiscard]] Result<void> seek(std::size_t offset);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ednsm::dns

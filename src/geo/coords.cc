@@ -1,0 +1,44 @@
+#include "geo/coords.h"
+
+#include <cmath>
+
+namespace ednsm::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.14159265358979323846;
+// Light in fiber travels at roughly 2/3 c -> ~200 km per millisecond.
+constexpr double kFiberKmPerMs = 200.0;
+
+double deg2rad(double d) noexcept { return d * kPi / 180.0; }
+}  // namespace
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2.0);
+  const double t = std::sin(dlon / 2.0);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_delay_ms(const GeoPoint& a, const GeoPoint& b, double stretch) noexcept {
+  return great_circle_km(a, b) * stretch / kFiberKmPerMs;
+}
+
+std::string_view to_string(Continent c) noexcept {
+  switch (c) {
+    case Continent::NorthAmerica: return "North America";
+    case Continent::SouthAmerica: return "South America";
+    case Continent::Europe: return "Europe";
+    case Continent::Asia: return "Asia";
+    case Continent::Africa: return "Africa";
+    case Continent::Oceania: return "Oceania";
+    case Continent::Unknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+}  // namespace ednsm::geo

@@ -1,0 +1,42 @@
+// Geographic coordinates and the distance → propagation-delay model.
+//
+// The simulator derives baseline path latency from great-circle distance, the
+// dominant term in wide-area RTT. Fiber paths are neither straight nor at
+// light speed, so we use the conventional effective propagation speed of
+// ~2/3 c and a path-stretch factor for routing indirectness.
+#pragma once
+
+#include <string>
+
+namespace ednsm::geo {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  [[nodiscard]] bool operator==(const GeoPoint&) const = default;
+};
+
+// Haversine great-circle distance in kilometres.
+[[nodiscard]] double great_circle_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+// One-way propagation delay in milliseconds for a fiber path between the two
+// points: distance * stretch / (c * 2/3). `stretch` models routing
+// indirectness; 1.0 is a geodesic fiber run, real Internet paths average
+// roughly 1.5-2.5 (see e.g. iGDB / Sprint latency studies).
+[[nodiscard]] double propagation_delay_ms(const GeoPoint& a, const GeoPoint& b,
+                                          double stretch = 1.8) noexcept;
+
+enum class Continent {
+  NorthAmerica,
+  SouthAmerica,
+  Europe,
+  Asia,
+  Africa,
+  Oceania,
+  Unknown,  // the paper: "6 resolvers were unable to return a location"
+};
+
+[[nodiscard]] std::string_view to_string(Continent c) noexcept;
+
+}  // namespace ednsm::geo

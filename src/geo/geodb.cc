@@ -1,0 +1,28 @@
+#include "geo/geodb.h"
+
+#include <algorithm>
+
+namespace ednsm::geo {
+
+void GeoDb::add(std::string hostname, GeoRecord record) {
+  records_[std::move(hostname)] = std::move(record);
+}
+
+std::optional<GeoRecord> GeoDb::lookup(std::string_view hostname) const {
+  const auto it = records_.find(std::string(hostname));
+  if (it == records_.end() || it->second.continent == Continent::Unknown) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<std::string> GeoDb::hostnames_in(Continent c) const {
+  std::vector<std::string> out;
+  for (const auto& [host, rec] : records_) {
+    if (rec.continent == c) out.push_back(host);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ednsm::geo

@@ -1,0 +1,35 @@
+#include "geo/vantage.h"
+
+#include <stdexcept>
+
+#include "geo/geodb.h"
+
+namespace ednsm::geo {
+
+const std::vector<VantagePoint>& paper_vantage_points() {
+  static const std::vector<VantagePoint> kPoints = [] {
+    std::vector<VantagePoint> v;
+    v.push_back({"ec2-ohio", "Amazon EC2 us-east-2 (Ohio), t2.xlarge", city::kColumbusOhio,
+                 Continent::NorthAmerica, AccessProfile::Datacenter});
+    v.push_back({"ec2-frankfurt", "Amazon EC2 eu-central-1 (Frankfurt), t2.xlarge",
+                 city::kFrankfurt, Continent::Europe, AccessProfile::Datacenter});
+    v.push_back({"ec2-seoul", "Amazon EC2 ap-northeast-2 (Seoul), t2.xlarge", city::kSeoul,
+                 Continent::Asia, AccessProfile::Datacenter});
+    for (int unit = 1; unit <= 4; ++unit) {
+      v.push_back({"home-chicago-" + std::to_string(unit),
+                   "Raspberry Pi, Chicagoland apartment complex unit " + std::to_string(unit),
+                   city::kChicago, Continent::NorthAmerica, AccessProfile::Residential});
+    }
+    return v;
+  }();
+  return kPoints;
+}
+
+const VantagePoint& vantage_by_id(std::string_view id) {
+  for (const VantagePoint& vp : paper_vantage_points()) {
+    if (vp.id == id) return vp;
+  }
+  throw std::out_of_range("unknown vantage point id: " + std::string(id));
+}
+
+}  // namespace ednsm::geo

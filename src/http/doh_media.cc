@@ -1,0 +1,64 @@
+#include "http/doh_media.h"
+
+#include "dns/base64url.h"
+#include "util/strings.h"
+
+namespace ednsm::http {
+
+std::string doh_get_path(std::string_view base_path,
+                         std::span<const std::uint8_t> dns_message) {
+  std::string path(base_path);
+  path += "?dns=";
+  path += dns::base64url_encode(dns_message);
+  return path;
+}
+
+Request make_doh_request(std::string_view authority, std::string_view path,
+                         std::span<const std::uint8_t> dns_message, bool use_post) {
+  Request req;
+  req.authority = std::string(authority);
+  req.headers.emplace_back("accept", std::string(kDnsMessageMediaType));
+  if (use_post) {
+    req.method = "POST";
+    req.path = std::string(path);
+    req.headers.emplace_back("content-type", std::string(kDnsMessageMediaType));
+    req.body.assign(dns_message.begin(), dns_message.end());
+  } else {
+    req.method = "GET";
+    req.path = doh_get_path(path, dns_message);
+  }
+  return req;
+}
+
+Result<util::Bytes> extract_dns_message(const Request& req) {
+  if (req.method == "POST") {
+    const std::string* ct = find_header(req.headers, "content-type");
+    if (ct == nullptr || !util::iequals(*ct, kDnsMessageMediaType)) {
+      return Err{std::string("doh: POST without application/dns-message content type")};
+    }
+    if (req.body.empty()) return Err{std::string("doh: empty POST body")};
+    return req.body;
+  }
+  if (req.method == "GET") {
+    const std::size_t q = req.path.find('?');
+    if (q == std::string::npos) return Err{std::string("doh: GET without query string")};
+    for (std::string_view param : util::split(std::string_view(req.path).substr(q + 1), '&')) {
+      if (util::starts_with(param, "dns=")) {
+        return dns::base64url_decode(param.substr(4));
+      }
+    }
+    return Err{std::string("doh: GET without dns parameter")};
+  }
+  return Err{std::string("doh: unsupported method ") + req.method};
+}
+
+Response make_doh_response(util::Bytes dns_message, std::uint32_t min_ttl) {
+  Response resp;
+  resp.status = 200;
+  resp.headers.emplace_back("content-type", std::string(kDnsMessageMediaType));
+  resp.headers.emplace_back("cache-control", "max-age=" + std::to_string(min_ttl));
+  resp.body = std::move(dns_message);
+  return resp;
+}
+
+}  // namespace ednsm::http

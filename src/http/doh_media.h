@@ -1,0 +1,34 @@
+// DoH media helpers (RFC 8484): the application/dns-message content type,
+// GET-with-?dns= path construction, and request parsing on the server side.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/h1.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ednsm::http {
+
+inline constexpr std::string_view kDnsMessageMediaType = "application/dns-message";
+inline constexpr std::string_view kDohDefaultPath = "/dns-query";
+
+// Build "/dns-query?dns=<base64url(message)>" (RFC 8484 §4.1).
+[[nodiscard]] std::string doh_get_path(std::string_view base_path,
+                                       std::span<const std::uint8_t> dns_message);
+
+// Build a DoH request. GET carries the message in the path; POST in the body.
+[[nodiscard]] Request make_doh_request(std::string_view authority, std::string_view path,
+                                       std::span<const std::uint8_t> dns_message, bool use_post);
+
+// Server side: pull the DNS message out of a DoH request. Validates method,
+// media type (POST), and the dns= parameter (GET).
+[[nodiscard]] Result<util::Bytes> extract_dns_message(const Request& req);
+
+// Build a DoH response carrying a DNS message (sets content-type and
+// cache-control per RFC 8484 §5.1 using the answer's min TTL).
+[[nodiscard]] Response make_doh_response(util::Bytes dns_message, std::uint32_t min_ttl);
+
+}  // namespace ednsm::http

@@ -1,0 +1,184 @@
+#include "http/h1.h"
+
+#include "util/strings.h"
+
+namespace ednsm::http {
+
+namespace {
+
+void append(util::Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+struct Head {
+  std::vector<std::string> lines;
+  std::size_t body_offset = 0;
+};
+
+// Split the head (up to CRLFCRLF) into lines; returns error if no terminator.
+Result<Head> split_head(std::span<const std::uint8_t> wire) {
+  const std::string text = util::as_string(wire);
+  const std::size_t end = text.find("\r\n\r\n");
+  if (end == std::string::npos) return Err{std::string("h1: missing header terminator")};
+  Head head;
+  head.body_offset = end + 4;
+  std::size_t start = 0;
+  while (start < end) {
+    std::size_t eol = text.find("\r\n", start);
+    if (eol == std::string::npos || eol > end) eol = end;
+    head.lines.push_back(text.substr(start, eol - start));
+    start = eol + 2;
+  }
+  if (head.lines.empty()) return Err{std::string("h1: empty head")};
+  return head;
+}
+
+Result<HeaderList> parse_headers(const std::vector<std::string>& lines) {
+  HeaderList headers;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return Err{std::string("h1: malformed header line")};
+    headers.emplace_back(std::string(util::trim(line.substr(0, colon))),
+                         std::string(util::trim(line.substr(colon + 1))));
+  }
+  return headers;
+}
+
+Result<util::Bytes> extract_body(std::span<const std::uint8_t> wire, std::size_t offset,
+                                 const HeaderList& headers) {
+  const std::string* cl = find_header(headers, "content-length");
+  const std::size_t available = wire.size() - offset;
+  std::size_t expected = available;
+  if (cl != nullptr) {
+    unsigned long long n = 0;
+    if (!util::parse_u64(*cl, n)) return Err{std::string("h1: bad content-length")};
+    expected = static_cast<std::size_t>(n);
+    if (expected > available) return Err{std::string("h1: truncated body")};
+    if (expected < available) return Err{std::string("h1: trailing bytes after body")};
+  }
+  return util::Bytes(wire.begin() + static_cast<std::ptrdiff_t>(offset),
+                     wire.begin() + static_cast<std::ptrdiff_t>(offset + expected));
+}
+
+}  // namespace
+
+const std::string* find_header(const HeaderList& headers, std::string_view name) {
+  for (const auto& [k, v] : headers) {
+    if (util::iequals(k, name)) return &v;
+  }
+  return nullptr;
+}
+
+util::Bytes Request::encode() const {
+  util::Bytes out;
+  append(out, method);
+  append(out, " ");
+  append(out, path);
+  append(out, " HTTP/1.1\r\n");
+  if (!authority.empty() && find_header(headers, "host") == nullptr) {
+    append(out, "Host: ");
+    append(out, authority);
+    append(out, "\r\n");
+  }
+  for (const auto& [k, v] : headers) {
+    append(out, k);
+    append(out, ": ");
+    append(out, v);
+    append(out, "\r\n");
+  }
+  if (!body.empty() && find_header(headers, "content-length") == nullptr) {
+    append(out, "Content-Length: " + std::to_string(body.size()) + "\r\n");
+  }
+  append(out, "\r\n");
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<Request> Request::decode(std::span<const std::uint8_t> wire) {
+  auto head = split_head(wire);
+  if (!head) return Err{head.error()};
+
+  const auto parts = util::split(head.value().lines[0], ' ');
+  if (parts.size() != 3) return Err{std::string("h1: malformed request line")};
+  if (parts[2] != "HTTP/1.1") return Err{std::string("h1: unsupported version")};
+
+  Request req;
+  req.method = std::string(parts[0]);
+  req.path = std::string(parts[1]);
+  auto headers = parse_headers(head.value().lines);
+  if (!headers) return Err{headers.error()};
+  req.headers = std::move(headers).value();
+  if (const std::string* host = find_header(req.headers, "host")) req.authority = *host;
+
+  auto body = extract_body(wire, head.value().body_offset, req.headers);
+  if (!body) return Err{body.error()};
+  req.body = std::move(body).value();
+  return req;
+}
+
+util::Bytes Response::encode() const {
+  util::Bytes out;
+  append(out, "HTTP/1.1 " + std::to_string(status) + " ");
+  append(out, reason.empty() ? default_reason(status) : std::string_view(reason));
+  append(out, "\r\n");
+  for (const auto& [k, v] : headers) {
+    append(out, k);
+    append(out, ": ");
+    append(out, v);
+    append(out, "\r\n");
+  }
+  if (find_header(headers, "content-length") == nullptr) {
+    append(out, "Content-Length: " + std::to_string(body.size()) + "\r\n");
+  }
+  append(out, "\r\n");
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<Response> Response::decode(std::span<const std::uint8_t> wire) {
+  auto head = split_head(wire);
+  if (!head) return Err{head.error()};
+
+  const std::string& status_line = head.value().lines[0];
+  const auto parts = util::split(status_line, ' ');
+  if (parts.size() < 2) return Err{std::string("h1: malformed status line")};
+  if (parts[0] != "HTTP/1.1") return Err{std::string("h1: unsupported version")};
+  unsigned long long status = 0;
+  if (!util::parse_u64(parts[1], status) || status < 100 || status > 599) {
+    return Err{std::string("h1: bad status code")};
+  }
+
+  Response resp;
+  resp.status = static_cast<int>(status);
+  if (parts.size() >= 3) {
+    const std::size_t reason_at = status_line.find(parts[2]);
+    resp.reason = status_line.substr(reason_at);
+  }
+  auto headers = parse_headers(head.value().lines);
+  if (!headers) return Err{headers.error()};
+  resp.headers = std::move(headers).value();
+
+  auto body = extract_body(wire, head.value().body_offset, resp.headers);
+  if (!body) return Err{body.error()};
+  resp.body = std::move(body).value();
+  return resp;
+}
+
+std::string_view default_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 413: return "Payload Too Large";
+    case 415: return "Unsupported Media Type";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace ednsm::http

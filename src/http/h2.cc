@@ -1,0 +1,291 @@
+#include "http/h2.h"
+
+#include <algorithm>
+
+#include "dns/wire.h"
+#include "util/strings.h"
+
+namespace ednsm::http {
+
+namespace {
+constexpr char kPreface[] = "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n";
+constexpr std::size_t kPrefaceLen = sizeof(kPreface) - 1;
+}  // namespace
+
+util::Bytes Frame::encode() const {
+  dns::WireWriter w;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  w.u8(static_cast<std::uint8_t>((len >> 16) & 0xff));
+  w.u8(static_cast<std::uint8_t>((len >> 8) & 0xff));
+  w.u8(static_cast<std::uint8_t>(len & 0xff));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(flags);
+  w.u32(stream_id & 0x7fffffffu);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+Result<std::vector<Frame>> decode_frames(std::span<const std::uint8_t> wire) {
+  std::vector<Frame> frames;
+  dns::WireReader r(wire);
+  while (!r.at_end()) {
+    if (r.remaining() < 9) return Err{std::string("h2: truncated frame header")};
+    std::uint32_t len = 0;
+    for (int i = 0; i < 3; ++i) {
+      auto b = r.u8();
+      if (!b) return Err{b.error()};
+      len = (len << 8) | b.value();
+    }
+    auto type = r.u8();
+    if (!type) return Err{type.error()};
+    auto flags = r.u8();
+    if (!flags) return Err{flags.error()};
+    auto sid = r.u32();
+    if (!sid) return Err{sid.error()};
+    auto payload = r.bytes(len);
+    if (!payload) return Err{std::string("h2: truncated frame payload")};
+
+    Frame f;
+    f.type = static_cast<FrameType>(type.value());
+    f.flags = flags.value();
+    f.stream_id = sid.value() & 0x7fffffffu;
+    f.payload = std::move(payload).value();
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+std::span<const std::uint8_t> client_preface() noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(kPreface), kPrefaceLen};
+}
+
+// ---- client ----------------------------------------------------------------
+
+util::Bytes H2ClientSession::serialize_request(const Request& req,
+                                               std::uint32_t& stream_id_out) {
+  util::Bytes out;
+  if (!preface_sent_) {
+    preface_sent_ = true;
+    const auto preface = client_preface();
+    out.insert(out.end(), preface.begin(), preface.end());
+    Frame settings;
+    settings.type = FrameType::Settings;
+    const util::Bytes enc = settings.encode();
+    out.insert(out.end(), enc.begin(), enc.end());
+  }
+
+  const std::uint32_t sid = next_stream_id_;
+  next_stream_id_ += 2;
+  stream_id_out = sid;
+
+  std::vector<hpack::Header> headers;
+  headers.emplace_back(":method", req.method);
+  headers.emplace_back(":scheme", "https");
+  headers.emplace_back(":authority", req.authority);
+  headers.emplace_back(":path", req.path);
+  for (const auto& [k, v] : req.headers) headers.emplace_back(util::to_lower(k), v);
+
+  Frame hf;
+  hf.type = FrameType::Headers;
+  hf.flags = static_cast<std::uint8_t>(kFlagEndHeaders | (req.body.empty() ? kFlagEndStream : 0));
+  hf.stream_id = sid;
+  hf.payload = encoder_.encode(headers);
+  const util::Bytes henc = hf.encode();
+  out.insert(out.end(), henc.begin(), henc.end());
+
+  if (!req.body.empty()) {
+    Frame df;
+    df.type = FrameType::Data;
+    df.flags = kFlagEndStream;
+    df.stream_id = sid;
+    df.payload = req.body;
+    const util::Bytes denc = df.encode();
+    out.insert(out.end(), denc.begin(), denc.end());
+  }
+  streams_.emplace_back(sid, PendingStream{});
+  return out;
+}
+
+void H2ClientSession::feed(std::span<const std::uint8_t> wire,
+                           const ResponseHandler& on_response) {
+  auto frames_r = decode_frames(wire);
+  if (!frames_r) {
+    // A malformed run is a connection error; every pending stream fails.
+    for (auto& [sid, st] : streams_) on_response(sid, Err{frames_r.error()});
+    streams_.clear();
+    return;
+  }
+
+  for (Frame& f : frames_r.value()) {
+    auto stream_it = std::find_if(streams_.begin(), streams_.end(),
+                                  [&](const auto& s) { return s.first == f.stream_id; });
+    switch (f.type) {
+      case FrameType::Settings:
+      case FrameType::Ping:
+      case FrameType::WindowUpdate:
+      case FrameType::GoAway:
+        break;  // bookkeeping; nothing to surface for a DoH exchange
+      case FrameType::RstStream: {
+        if (stream_it != streams_.end()) {
+          on_response(f.stream_id, Err{std::string("h2: stream reset by server")});
+          streams_.erase(stream_it);
+        }
+        break;
+      }
+      case FrameType::Headers: {
+        if (stream_it == streams_.end()) break;
+        auto headers_r = decoder_.decode(f.payload);
+        if (!headers_r) {
+          on_response(f.stream_id, Err{headers_r.error()});
+          streams_.erase(stream_it);
+          break;
+        }
+        Response resp;
+        for (auto& [k, v] : headers_r.value()) {
+          if (k == ":status") {
+            unsigned long long s = 0;
+            if (util::parse_u64(v, s)) resp.status = static_cast<int>(s);
+          } else if (!k.empty() && k[0] != ':') {
+            resp.headers.emplace_back(k, v);
+          }
+        }
+        stream_it->second.response = std::move(resp);
+        stream_it->second.headers_done = true;
+        if ((f.flags & kFlagEndStream) != 0) {
+          Response done = std::move(*stream_it->second.response);
+          done.body = std::move(stream_it->second.body);
+          const std::uint32_t sid = f.stream_id;
+          streams_.erase(stream_it);
+          on_response(sid, std::move(done));
+        }
+        break;
+      }
+      case FrameType::Data: {
+        if (stream_it == streams_.end()) break;
+        PendingStream& st = stream_it->second;
+        st.body.insert(st.body.end(), f.payload.begin(), f.payload.end());
+        if ((f.flags & kFlagEndStream) != 0) {
+          if (!st.headers_done) {
+            on_response(f.stream_id, Err{std::string("h2: DATA before HEADERS")});
+            streams_.erase(stream_it);
+            break;
+          }
+          Response done = std::move(*st.response);
+          done.body = std::move(st.body);
+          const std::uint32_t sid = f.stream_id;
+          streams_.erase(stream_it);
+          on_response(sid, std::move(done));
+        }
+        break;
+      }
+    }
+  }
+}
+
+// ---- server ----------------------------------------------------------------
+
+void H2ServerSession::feed(std::span<const std::uint8_t> wire,
+                           const RequestHandler& on_request) {
+  std::span<const std::uint8_t> rest = wire;
+  if (!preface_seen_) {
+    const auto preface = client_preface();
+    if (rest.size() < preface.size() ||
+        !std::equal(preface.begin(), preface.end(), rest.begin())) {
+      on_request(0, Err{std::string("h2: missing connection preface")});
+      return;
+    }
+    preface_seen_ = true;
+    rest = rest.subspan(preface.size());
+  }
+
+  auto frames_r = decode_frames(rest);
+  if (!frames_r) {
+    on_request(0, Err{frames_r.error()});
+    return;
+  }
+
+  // Requests may arrive as HEADERS(+END_STREAM) or HEADERS + DATA in the same
+  // run; track partial streams across feeds.
+  for (Frame& f : frames_r.value()) {
+    switch (f.type) {
+      case FrameType::Settings:
+        if ((f.flags & kFlagAck) == 0) settings_ack_due_ = true;
+        break;
+      case FrameType::Headers: {
+        auto headers_r = decoder_.decode(f.payload);
+        if (!headers_r) {
+          on_request(f.stream_id, Err{headers_r.error()});
+          break;
+        }
+        Request req;
+        for (auto& [k, v] : headers_r.value()) {
+          if (k == ":method") req.method = v;
+          else if (k == ":path") req.path = v;
+          else if (k == ":authority") req.authority = v;
+          else if (!k.empty() && k[0] != ':') req.headers.emplace_back(k, v);
+        }
+        if ((f.flags & kFlagEndStream) != 0) {
+          on_request(f.stream_id, std::move(req));
+        } else {
+          partial_.emplace_back(f.stream_id, std::move(req));
+        }
+        break;
+      }
+      case FrameType::Data: {
+        auto it = std::find_if(partial_.begin(), partial_.end(),
+                               [&](const auto& p) { return p.first == f.stream_id; });
+        if (it == partial_.end()) break;
+        it->second.body.insert(it->second.body.end(), f.payload.begin(), f.payload.end());
+        if ((f.flags & kFlagEndStream) != 0) {
+          Request done = std::move(it->second);
+          partial_.erase(it);
+          on_request(f.stream_id, std::move(done));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+util::Bytes H2ServerSession::serialize_response(std::uint32_t stream_id, const Response& resp) {
+  util::Bytes out;
+  if (settings_ack_due_) {
+    settings_ack_due_ = false;
+    Frame own;
+    own.type = FrameType::Settings;
+    const util::Bytes oenc = own.encode();
+    out.insert(out.end(), oenc.begin(), oenc.end());
+    Frame ack;
+    ack.type = FrameType::Settings;
+    ack.flags = kFlagAck;
+    const util::Bytes aenc = ack.encode();
+    out.insert(out.end(), aenc.begin(), aenc.end());
+  }
+
+  std::vector<hpack::Header> headers;
+  headers.emplace_back(":status", std::to_string(resp.status));
+  for (const auto& [k, v] : resp.headers) headers.emplace_back(util::to_lower(k), v);
+
+  Frame hf;
+  hf.type = FrameType::Headers;
+  hf.flags = static_cast<std::uint8_t>(kFlagEndHeaders | (resp.body.empty() ? kFlagEndStream : 0));
+  hf.stream_id = stream_id;
+  hf.payload = encoder_.encode(headers);
+  const util::Bytes henc = hf.encode();
+  out.insert(out.end(), henc.begin(), henc.end());
+
+  if (!resp.body.empty()) {
+    Frame df;
+    df.type = FrameType::Data;
+    df.flags = kFlagEndStream;
+    df.stream_id = stream_id;
+    df.payload = resp.body;
+    const util::Bytes denc = df.encode();
+    out.insert(out.end(), denc.begin(), denc.end());
+  }
+  return out;
+}
+
+}  // namespace ednsm::http

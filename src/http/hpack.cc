@@ -1,0 +1,254 @@
+#include "http/hpack.h"
+
+namespace ednsm::http::hpack {
+
+const std::vector<Header>& static_table() {
+  static const std::vector<Header> kTable = {
+      {":authority", ""},
+      {":method", "GET"},
+      {":method", "POST"},
+      {":path", "/"},
+      {":path", "/index.html"},
+      {":scheme", "http"},
+      {":scheme", "https"},
+      {":status", "200"},
+      {":status", "204"},
+      {":status", "206"},
+      {":status", "304"},
+      {":status", "400"},
+      {":status", "404"},
+      {":status", "500"},
+      {"accept-charset", ""},
+      {"accept-encoding", "gzip, deflate"},
+      {"accept-language", ""},
+      {"accept-ranges", ""},
+      {"accept", ""},
+      {"access-control-allow-origin", ""},
+      {"age", ""},
+      {"allow", ""},
+      {"authorization", ""},
+      {"cache-control", ""},
+      {"content-disposition", ""},
+      {"content-encoding", ""},
+      {"content-language", ""},
+      {"content-length", ""},
+      {"content-location", ""},
+      {"content-range", ""},
+      {"content-type", ""},
+      {"cookie", ""},
+      {"date", ""},
+      {"etag", ""},
+      {"expect", ""},
+      {"expires", ""},
+      {"from", ""},
+      {"host", ""},
+      {"if-match", ""},
+      {"if-modified-since", ""},
+      {"if-none-match", ""},
+      {"if-range", ""},
+      {"if-unmodified-since", ""},
+      {"last-modified", ""},
+      {"link", ""},
+      {"location", ""},
+      {"max-forwards", ""},
+      {"proxy-authenticate", ""},
+      {"proxy-authorization", ""},
+      {"range", ""},
+      {"referer", ""},
+      {"refresh", ""},
+      {"retry-after", ""},
+      {"server", ""},
+      {"set-cookie", ""},
+      {"strict-transport-security", ""},
+      {"transfer-encoding", ""},
+      {"user-agent", ""},
+      {"vary", ""},
+      {"via", ""},
+      {"www-authenticate", ""},
+  };
+  return kTable;
+}
+
+void encode_integer(util::Bytes& out, std::uint8_t prefix_bits, std::uint8_t first_byte_flags,
+                    std::uint64_t value) {
+  const std::uint64_t max_prefix = (1ULL << prefix_bits) - 1;
+  if (value < max_prefix) {
+    out.push_back(static_cast<std::uint8_t>(first_byte_flags | value));
+    return;
+  }
+  out.push_back(static_cast<std::uint8_t>(first_byte_flags | max_prefix));
+  value -= max_prefix;
+  while (value >= 128) {
+    out.push_back(static_cast<std::uint8_t>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+Result<std::uint64_t> decode_integer(std::span<const std::uint8_t> in, std::size_t& pos,
+                                     std::uint8_t prefix_bits) {
+  if (pos >= in.size()) return Err{std::string("hpack: truncated integer")};
+  const std::uint64_t max_prefix = (1ULL << prefix_bits) - 1;
+  std::uint64_t value = in[pos++] & max_prefix;
+  if (value < max_prefix) return value;
+
+  std::uint32_t shift = 0;
+  while (true) {
+    if (pos >= in.size()) return Err{std::string("hpack: truncated integer")};
+    if (shift > 56) return Err{std::string("hpack: integer overflow")};
+    const std::uint8_t byte = in[pos++];
+    value += static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+namespace {
+
+constexpr std::size_t entry_size(const Header& h) {
+  return h.first.size() + h.second.size() + 32;  // RFC 7541 §4.1
+}
+
+void encode_string(util::Bytes& out, std::string_view s) {
+  encode_integer(out, 7, 0x00, s.size());  // H bit = 0 (no Huffman)
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+Result<std::string> decode_string(std::span<const std::uint8_t> in, std::size_t& pos) {
+  if (pos >= in.size()) return Err{std::string("hpack: truncated string")};
+  const bool huffman = (in[pos] & 0x80) != 0;
+  auto len_r = decode_integer(in, pos, 7);
+  if (!len_r) return Err{len_r.error()};
+  if (huffman) return Err{std::string("hpack: Huffman coding not supported")};
+  const std::size_t len = static_cast<std::size_t>(len_r.value());
+  if (pos + len > in.size()) return Err{std::string("hpack: truncated string body")};
+  std::string s(reinterpret_cast<const char*>(in.data() + pos), len);
+  pos += len;
+  return s;
+}
+
+}  // namespace
+
+void DynamicTable::insert(Header h) {
+  size_ += entry_size(h);
+  entries_.push_front(std::move(h));
+  evict();
+}
+
+void DynamicTable::evict() {
+  while (size_ > max_size_ && !entries_.empty()) {
+    size_ -= entry_size(entries_.back());
+    entries_.pop_back();
+  }
+}
+
+void DynamicTable::set_max_size(std::size_t max) {
+  max_size_ = max;
+  evict();
+}
+
+const Header* DynamicTable::at(std::size_t index) const {
+  if (index >= entries_.size()) return nullptr;
+  return &entries_[index];
+}
+
+std::size_t DynamicTable::find(const Header& h) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i] == h) return i;
+  }
+  return npos;
+}
+
+util::Bytes Encoder::encode(const std::vector<Header>& headers) {
+  util::Bytes out;
+  const auto& st = static_table();
+  for (const Header& h : headers) {
+    // 1) Exact match in the static table -> indexed field.
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      if (st[i] == h) {
+        idx = i + 1;
+        break;
+      }
+    }
+    if (idx == 0) {
+      // 2) Exact match in the dynamic table.
+      const std::size_t d = table_.find(h);
+      if (d != DynamicTable::npos) idx = st.size() + 1 + d;
+    }
+    if (idx != 0) {
+      encode_integer(out, 7, 0x80, idx);
+      continue;
+    }
+    // 3) Literal with incremental indexing; reference a static name if any.
+    std::size_t name_idx = 0;
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      if (st[i].first == h.first) {
+        name_idx = i + 1;
+        break;
+      }
+    }
+    encode_integer(out, 6, 0x40, name_idx);
+    if (name_idx == 0) encode_string(out, h.first);
+    encode_string(out, h.second);
+    table_.insert(h);
+  }
+  return out;
+}
+
+Result<std::vector<Header>> Decoder::decode(std::span<const std::uint8_t> block) {
+  std::vector<Header> out;
+  const auto& st = static_table();
+  std::size_t pos = 0;
+
+  auto lookup = [&](std::uint64_t index) -> Result<Header> {
+    if (index == 0) return Err{std::string("hpack: zero index")};
+    if (index <= st.size()) return st[static_cast<std::size_t>(index - 1)];
+    const Header* h = table_.at(static_cast<std::size_t>(index - st.size() - 1));
+    if (h == nullptr) return Err{std::string("hpack: index beyond tables")};
+    return *h;
+  };
+
+  while (pos < block.size()) {
+    const std::uint8_t b = block[pos];
+    if ((b & 0x80) != 0) {  // indexed header field
+      auto idx = decode_integer(block, pos, 7);
+      if (!idx) return Err{idx.error()};
+      auto h = lookup(idx.value());
+      if (!h) return Err{h.error()};
+      out.push_back(std::move(h).value());
+      continue;
+    }
+    if ((b & 0xE0) == 0x20) {  // dynamic table size update
+      auto size = decode_integer(block, pos, 5);
+      if (!size) return Err{size.error()};
+      table_.set_max_size(static_cast<std::size_t>(size.value()));
+      continue;
+    }
+    // Literal forms: with incremental indexing (01), without (0000), never (0001).
+    const bool incremental = (b & 0xC0) == 0x40;
+    const std::uint8_t prefix = incremental ? 6 : 4;
+    auto name_idx = decode_integer(block, pos, prefix);
+    if (!name_idx) return Err{name_idx.error()};
+
+    Header h;
+    if (name_idx.value() != 0) {
+      auto named = lookup(name_idx.value());
+      if (!named) return Err{named.error()};
+      h.first = named.value().first;
+    } else {
+      auto name = decode_string(block, pos);
+      if (!name) return Err{name.error()};
+      h.first = std::move(name).value();
+    }
+    auto value = decode_string(block, pos);
+    if (!value) return Err{value.error()};
+    h.second = std::move(value).value();
+
+    if (incremental) table_.insert(h);
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+}  // namespace ednsm::http::hpack

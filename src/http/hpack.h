@@ -1,0 +1,73 @@
+// HPACK header compression (RFC 7541) — the subset an HTTP/2 DoH exchange
+// uses: the full static table, a size-bounded dynamic table with eviction,
+// indexed header fields, literals with/without incremental indexing, and
+// integer prefix coding. Huffman string coding is not implemented (the H bit
+// is always 0, which is conformant; Huffman is an optional space
+// optimization).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ednsm::http::hpack {
+
+using Header = std::pair<std::string, std::string>;
+
+// RFC 7541 Appendix A. Index 1-based; index 0 is invalid on the wire.
+[[nodiscard]] const std::vector<Header>& static_table();
+
+// HPACK integer with an n-bit prefix (RFC 7541 §5.1).
+void encode_integer(util::Bytes& out, std::uint8_t prefix_bits, std::uint8_t first_byte_flags,
+                    std::uint64_t value);
+[[nodiscard]] Result<std::uint64_t> decode_integer(std::span<const std::uint8_t> in,
+                                                   std::size_t& pos, std::uint8_t prefix_bits);
+
+class DynamicTable {
+ public:
+  explicit DynamicTable(std::size_t max_size = 4096) : max_size_(max_size) {}
+
+  void insert(Header h);
+  // 1-based index into the combined address space *after* the static table.
+  [[nodiscard]] const Header* at(std::size_t index) const;  // 0-based into dynamic part
+  [[nodiscard]] std::size_t count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  void set_max_size(std::size_t max);
+
+  // Find an entry equal to (name, value); returns 0-based index or npos.
+  [[nodiscard]] std::size_t find(const Header& h) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  void evict();
+
+  std::deque<Header> entries_;  // front = most recent (index 62 on the wire)
+  std::size_t size_ = 0;
+  std::size_t max_size_;
+};
+
+class Encoder {
+ public:
+  // Encode a header block. Headers found in either table are emitted as
+  // indexed fields; everything else becomes a literal with incremental
+  // indexing (so repeated DoH requests compress to a few bytes).
+  [[nodiscard]] util::Bytes encode(const std::vector<Header>& headers);
+
+ private:
+  DynamicTable table_;
+};
+
+class Decoder {
+ public:
+  [[nodiscard]] Result<std::vector<Header>> decode(std::span<const std::uint8_t> block);
+
+ private:
+  DynamicTable table_;
+};
+
+}  // namespace ednsm::http::hpack

@@ -1,0 +1,34 @@
+#include "netsim/access_link.h"
+
+namespace ednsm::netsim {
+
+double AccessLinkModel::sample_delay_ms(Rng& rng) const {
+  double delay = base_ms + rng.lognormal(jitter_mu, jitter_sigma);
+  if (burst_probability > 0.0 && rng.bernoulli(burst_probability)) {
+    delay += rng.pareto(burst_scale_ms, burst_alpha);
+  }
+  return delay;
+}
+
+AccessLinkModel AccessLinkModel::datacenter() {
+  AccessLinkModel m;
+  m.base_ms = 0.2;
+  m.jitter_mu = -2.5;   // median e^-2.5 ~ 0.08 ms
+  m.jitter_sigma = 0.4;
+  m.loss_probability = 0.0001;
+  return m;
+}
+
+AccessLinkModel AccessLinkModel::residential() {
+  AccessLinkModel m;
+  m.base_ms = 6.0;
+  m.jitter_mu = 0.0;    // median ~1 ms body jitter
+  m.jitter_sigma = 0.7;
+  m.burst_probability = 0.03;
+  m.burst_scale_ms = 4.0;
+  m.burst_alpha = 1.6;  // heavy-ish tail: occasional tens of ms
+  m.loss_probability = 0.002;
+  return m;
+}
+
+}  // namespace ednsm::netsim

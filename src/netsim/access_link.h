@@ -1,0 +1,36 @@
+// Access-link models: the "last mile" between a host and the wide-area path.
+//
+// EC2 instances sit effectively on the backbone: sub-millisecond, low-jitter
+// access. Residential cable access adds several milliseconds of serialization
+// and scheduling delay, and — critically for the paper's home-vs-EC2
+// comparisons — occasional latency bursts from cross-traffic (buffer bloat),
+// which we model as a two-state mixture on top of a lognormal body.
+#pragma once
+
+#include "netsim/rng.h"
+#include "netsim/time.h"
+
+namespace ednsm::netsim {
+
+struct AccessLinkModel {
+  double base_ms = 0.2;         // deterministic one-way access delay
+  double jitter_mu = -2.0;      // lognormal body (underlying normal mu, in ln-ms)
+  double jitter_sigma = 0.5;
+  double burst_probability = 0.0;  // P(cross-traffic burst) per packet
+  double burst_scale_ms = 0.0;     // Pareto scale of the burst
+  double burst_alpha = 2.0;        // Pareto shape (smaller = heavier tail)
+  double loss_probability = 0.0;   // per-packet loss on this link
+
+  // Sample the one-way delay contribution of this link for one packet.
+  [[nodiscard]] double sample_delay_ms(Rng& rng) const;
+
+  // Datacenter access: ~0.2 ms, tight jitter, no loss.
+  [[nodiscard]] static AccessLinkModel datacenter();
+
+  // Residential cable: ~6 ms, visible jitter, occasional multi-ms bursts,
+  // 0.2% loss. Parameters follow the shape of FCC MBA latency-under-load
+  // observations for DOCSIS access.
+  [[nodiscard]] static AccessLinkModel residential();
+};
+
+}  // namespace ednsm::netsim

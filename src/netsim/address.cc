@@ -1,0 +1,27 @@
+#include "netsim/address.h"
+
+#include <sstream>
+
+namespace ednsm::netsim {
+
+std::string IpAddr::to_string() const {
+  std::ostringstream os;
+  os << ((value >> 24) & 0xff) << '.' << ((value >> 16) & 0xff) << '.'
+     << ((value >> 8) & 0xff) << '.' << (value & 0xff);
+  return os.str();
+}
+
+std::string Endpoint::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+IpAddr AddressAllocator::next() {
+  // 10.0.0.0/8, skipping .0 and .255 in the last octet for realism.
+  ++counter_;
+  std::uint32_t host = counter_;
+  std::uint32_t last = host % 254 + 1;       // 1..254
+  std::uint32_t rest = host / 254;
+  return IpAddr{(10u << 24) | ((rest & 0xffff) << 8) | last};
+}
+
+}  // namespace ednsm::netsim

@@ -1,0 +1,58 @@
+#include "netsim/event_queue.h"
+
+#include <cassert>
+
+namespace ednsm::netsim {
+
+EventQueue::EventId EventQueue::schedule(SimDuration delay, Callback cb) {
+  assert(delay >= kZeroDuration && "events cannot be scheduled in the past");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+EventQueue::EventId EventQueue::schedule_at(SimTime when, Callback cb) {
+  assert(when >= now_ && "events cannot be scheduled in the past");
+  const EventId id = next_seq_++;
+  const Key key{when, id};
+  events_.emplace(key, std::move(cb));
+  index_.emplace(id, key);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  events_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+std::size_t EventQueue::run_until_idle() {
+  std::size_t executed = 0;
+  while (!events_.empty()) {
+    auto it = events_.begin();
+    now_ = it->first.first;
+    Callback cb = std::move(it->second);
+    index_.erase(it->first.second);
+    events_.erase(it);
+    cb();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t EventQueue::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!events_.empty() && events_.begin()->first.first <= deadline) {
+    auto it = events_.begin();
+    now_ = it->first.first;
+    Callback cb = std::move(it->second);
+    index_.erase(it->first.second);
+    events_.erase(it);
+    cb();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace ednsm::netsim

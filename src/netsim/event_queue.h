@@ -1,0 +1,50 @@
+// The discrete-event core: a priority queue of (time, sequence, callback).
+// Sequence numbers break ties so same-instant events fire in schedule order,
+// which keeps runs bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "netsim/time.h"
+
+namespace ednsm::netsim {
+
+class EventQueue {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  // Schedule `cb` to run `delay` from now (delay may be zero, never negative).
+  EventId schedule(SimDuration delay, Callback cb);
+
+  // Schedule at an absolute time >= now().
+  EventId schedule_at(SimTime when, Callback cb);
+
+  // Cancel a pending event; returns false if it already ran or was cancelled.
+  bool cancel(EventId id);
+
+  // Run events until the queue drains. Returns the number of events executed.
+  std::size_t run_until_idle();
+
+  // Run events with time <= deadline; leaves later events pending and
+  // advances now() to min(deadline, time of last executed event is exceeded).
+  std::size_t run_until(SimTime deadline);
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+
+ private:
+  using Key = std::pair<SimTime, std::uint64_t>;  // (when, seq)
+
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::map<Key, Callback> events_;
+  std::map<EventId, Key> index_;  // EventId == seq
+};
+
+}  // namespace ednsm::netsim

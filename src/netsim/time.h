@@ -1,0 +1,24 @@
+// Simulated time. The simulator never consults the wall clock: SimTime is a
+// strong microsecond offset from campaign start, advanced only by the event
+// queue.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ednsm::netsim {
+
+using SimDuration = std::chrono::microseconds;
+using SimTime = SimDuration;  // offset from simulation epoch
+
+[[nodiscard]] constexpr SimDuration from_ms(double ms) noexcept {
+  return SimDuration(static_cast<std::int64_t>(ms * 1000.0));
+}
+
+[[nodiscard]] constexpr double to_ms(SimDuration d) noexcept {
+  return static_cast<double>(d.count()) / 1000.0;
+}
+
+inline constexpr SimDuration kZeroDuration{0};
+
+}  // namespace ednsm::netsim

@@ -1,0 +1,85 @@
+#include "report/boxplot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ednsm::report {
+
+namespace {
+int to_col(double ms, double max_ms, int width) {
+  if (ms <= 0) return 0;
+  if (ms >= max_ms) return width - 1;
+  return static_cast<int>(ms / max_ms * (width - 1));
+}
+}  // namespace
+
+std::string render_box_line(const stats::BoxSummary& s, double max_ms, int width, char fill) {
+  std::string line(static_cast<std::size_t>(width), ' ');
+  if (s.count == 0) return line;
+
+  const int wlow = to_col(s.whisker_low, max_ms, width);
+  const int q1 = to_col(s.q1, max_ms, width);
+  const int med = to_col(s.median, max_ms, width);
+  const int q3 = to_col(s.q3, max_ms, width);
+  const int whigh = to_col(s.whisker_high, max_ms, width);
+
+  for (int i = wlow; i <= whigh; ++i) line[static_cast<std::size_t>(i)] = '-';
+  for (int i = q1; i <= q3; ++i) line[static_cast<std::size_t>(i)] = fill;
+  line[static_cast<std::size_t>(wlow)] = '|';
+  line[static_cast<std::size_t>(whigh)] = '|';
+  line[static_cast<std::size_t>(q1)] = '[';
+  line[static_cast<std::size_t>(q3)] = ']';
+  line[static_cast<std::size_t>(med)] = 'M';
+
+  // Outliers beyond the whiskers (and anything truncated at the axis edge).
+  for (double v : s.outliers) {
+    const int col = to_col(v, max_ms, width);
+    if (line[static_cast<std::size_t>(col)] == ' ') line[static_cast<std::size_t>(col)] = 'o';
+  }
+  return line;
+}
+
+std::string render_boxplots(const std::vector<BoxRow>& rows, const BoxPlotOptions& options) {
+  std::size_t label_width = 8;
+  for (const BoxRow& row : rows) {
+    label_width = std::max(label_width, row.label.size() + (row.bold ? 2 : 0));
+  }
+
+  std::string out;
+  // Axis header.
+  out.append(label_width + 2, ' ');
+  char axis[128];
+  std::snprintf(axis, sizeof axis, "0 ms%*s%.0f ms", options.plot_width - 12, "",
+                options.max_ms);
+  out += axis;
+  out += "\n";
+
+  for (const BoxRow& row : rows) {
+    const std::string label = row.bold ? "*" + row.label + "*" : row.label;
+    out += label;
+    out.append(label_width - label.size() + 1, ' ');
+    out += '|';
+    out += render_box_line(row.response, options.max_ms, options.plot_width,
+                           options.response_fill);
+    char med[48];
+    if (row.response.count > 0) {
+      std::snprintf(med, sizeof med, "  med=%.1f ms (n=%zu)", row.response.median,
+                    row.response.count);
+      out += med;
+    }
+    out += "\n";
+    if (row.ping.count > 0) {
+      out.append(label_width + 1, ' ');
+      out += '|';
+      out += render_box_line(row.ping, options.max_ms, options.plot_width, options.ping_fill);
+      std::snprintf(med, sizeof med, "  ping=%.1f ms", row.ping.median);
+      out += med;
+      out += "\n";
+    }
+  }
+  out += "legend: [==M==] DNS response time   (--m--) / [--] ICMP ping   * mainstream\n";
+  return out;
+}
+
+}  // namespace ednsm::report

@@ -1,0 +1,38 @@
+// ASCII box-plot rendering in the style of the paper's figures: one row per
+// resolver, two series per row (DNS response time and ICMP ping), truncated
+// at a configurable maximum "for ease of exposition" like the paper's plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/quantile.h"
+
+namespace ednsm::report {
+
+struct BoxRow {
+  std::string label;
+  bool bold = false;  // the paper bolds mainstream resolvers
+  stats::BoxSummary response;  // count==0 -> no box drawn
+  stats::BoxSummary ping;
+};
+
+struct BoxPlotOptions {
+  double max_ms = 600.0;  // the paper truncates beyond 600 ms
+  int plot_width = 72;    // characters for the axis
+  char response_fill = '=';
+  char ping_fill = '-';
+};
+
+// Render rows (already in display order) over a shared millisecond axis.
+// Layout per row:
+//   label          |--[==M==]--|   response
+//                  |-(--m--)-|     ping (omitted when count == 0)
+[[nodiscard]] std::string render_boxplots(const std::vector<BoxRow>& rows,
+                                          const BoxPlotOptions& options = {});
+
+// One-line rendering of a single box summary (used by tests and quick looks).
+[[nodiscard]] std::string render_box_line(const stats::BoxSummary& s, double max_ms,
+                                          int width, char fill);
+
+}  // namespace ednsm::report

@@ -1,0 +1,181 @@
+#include "report/figures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "resolver/browsers.h"
+#include "resolver/registry.h"
+#include "stats/quantile.h"
+
+namespace ednsm::report {
+
+namespace {
+
+// Resolvers relevant to a continent figure: those located there, plus the
+// mainstream set (which the paper includes, bolded, in every regional
+// figure because they are measured from everywhere).
+std::vector<const resolver::ResolverSpec*> figure_population(geo::Continent continent) {
+  std::vector<const resolver::ResolverSpec*> out;
+  for (const resolver::ResolverSpec& s : resolver::paper_resolver_list()) {
+    if (s.continent == continent || s.mainstream) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BoxRow> figure_rows(const core::CampaignResult& result,
+                                const std::string& vantage_id, geo::Continent continent) {
+  std::vector<BoxRow> rows;
+  for (const resolver::ResolverSpec* spec : figure_population(continent)) {
+    const std::vector<double> responses =
+        result.response_times(vantage_id, spec->hostname);
+    const std::vector<double> pings = result.ping_times(vantage_id, spec->hostname);
+    if (responses.empty() && pings.empty()) continue;  // not measured from here
+    BoxRow row;
+    row.label = spec->hostname;
+    row.bold = spec->mainstream;
+    row.response = stats::box_summary(responses);
+    row.ping = stats::box_summary(pings);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const BoxRow& a, const BoxRow& b) {
+    const double ma = a.response.count > 0 ? a.response.median
+                                           : std::numeric_limits<double>::max();
+    const double mb = b.response.count > 0 ? b.response.median
+                                           : std::numeric_limits<double>::max();
+    if (ma != mb) return ma < mb;
+    return a.label < b.label;
+  });
+  return rows;
+}
+
+std::string render_figure(const core::CampaignResult& result, const std::string& vantage_id,
+                          geo::Continent continent, const std::string& title, double max_ms) {
+  std::string out = title + "\n";
+  out.append(title.size(), '=');
+  out += "\n";
+  BoxPlotOptions options;
+  options.max_ms = max_ms;
+  out += render_boxplots(figure_rows(result, vantage_id, continent), options);
+  return out;
+}
+
+Table remote_median_table(const core::CampaignResult& result, geo::Continent continent,
+                          const std::string& near_vantage, const std::string& far_vantage,
+                          std::size_t top_n) {
+  struct Row {
+    std::string hostname;
+    double near_ms;
+    double far_ms;
+  };
+  std::vector<Row> rows;
+  for (const resolver::ResolverSpec& s : resolver::paper_resolver_list()) {
+    if (s.continent != continent || s.mainstream) continue;
+    const double near_med = stats::median(result.response_times(near_vantage, s.hostname));
+    const double far_med = stats::median(result.response_times(far_vantage, s.hostname));
+    if (std::isnan(near_med) || std::isnan(far_med)) continue;
+    rows.push_back({s.hostname, near_med, far_med});
+  }
+  // Largest near-vs-far gap first (the paper's selection criterion).
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return (a.far_ms - a.near_ms) > (b.far_ms - b.near_ms);
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+
+  Table table({"Resolver", near_vantage + " (ms)", far_vantage + " (ms)"});
+  for (const Row& r : rows) {
+    table.add_row({r.hostname, fmt(r.near_ms, 0), fmt(r.far_ms, 0)});
+  }
+  return table;
+}
+
+std::string availability_report(const core::CampaignResult& result) {
+  const core::AvailabilityCounts& overall = result.availability.overall();
+  std::string out;
+  out += "Availability summary\n";
+  out += "  successful responses: " + std::to_string(overall.successes) + "\n";
+  out += "  errors:               " + std::to_string(overall.errors) + "\n";
+  char rate[64];
+  std::snprintf(rate, sizeof rate, "  error rate:           %.2f%%\n",
+                overall.error_rate() * 100.0);
+  out += rate;
+  out += "  errors by class:\n";
+  for (const auto& [cls, count] : overall.errors_by_class) {
+    out += "    " + cls + ": " + std::to_string(count) + "\n";
+  }
+  const std::string dominant = result.availability.dominant_error_class();
+  if (!dominant.empty()) {
+    out += "  most common error class: " + dominant + "\n";
+  }
+
+  // Per-vantage unresponsive resolvers (paper: no consistent subset).
+  out += "  unresponsive (vantage, resolver) pairs:\n";
+  bool any = false;
+  for (const std::string& vid : result.spec.vantage_ids) {
+    for (const std::string& host : result.spec.resolvers) {
+      if (result.availability.unresponsive_from(vid, host)) {
+        out += "    " + vid + " -> " + host + "\n";
+        any = true;
+      }
+    }
+  }
+  if (!any) out += "    (none)\n";
+  return out;
+}
+
+Table browser_matrix() {
+  std::vector<std::string> header = {"Browser"};
+  for (resolver::Provider p : resolver::all_providers()) {
+    header.emplace_back(resolver::to_string(p));
+  }
+  Table table(std::move(header));
+  for (resolver::Browser b : resolver::all_browsers()) {
+    std::vector<std::string> row = {std::string(resolver::to_string(b))};
+    for (resolver::Provider p : resolver::all_providers()) {
+      row.emplace_back(resolver::browser_offers(b, p) ? "v" : "");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table max_median_table(const core::CampaignResult& result) {
+  Table table({"Vantage", "Max median response (ms)", "Resolver"});
+  for (const std::string& vid : result.spec.vantage_ids) {
+    double worst = -1;
+    std::string worst_host;
+    for (const std::string& host : result.spec.resolvers) {
+      const double med = stats::median(result.response_times(vid, host));
+      if (!std::isnan(med) && med > worst) {
+        worst = med;
+        worst_host = host;
+      }
+    }
+    if (worst >= 0) table.add_row({vid, fmt(worst, 0), worst_host});
+  }
+  return table;
+}
+
+std::vector<std::string> nonmainstream_winners(const core::CampaignResult& result,
+                                               const std::string& vantage_id) {
+  double best_mainstream = std::numeric_limits<double>::max();
+  for (const std::string& host : result.spec.resolvers) {
+    const resolver::ResolverSpec* spec = resolver::find_resolver(host);
+    if (spec == nullptr || !spec->mainstream) continue;
+    const double med = stats::median(result.response_times(vantage_id, host));
+    if (!std::isnan(med)) best_mainstream = std::min(best_mainstream, med);
+  }
+  std::vector<std::string> winners;
+  if (best_mainstream == std::numeric_limits<double>::max()) return winners;
+  for (const std::string& host : result.spec.resolvers) {
+    const resolver::ResolverSpec* spec = resolver::find_resolver(host);
+    if (spec == nullptr || spec->mainstream) continue;
+    const double med = stats::median(result.response_times(vantage_id, host));
+    if (!std::isnan(med) && med < best_mainstream) winners.push_back(host);
+  }
+  return winners;
+}
+
+}  // namespace ednsm::report

@@ -1,0 +1,52 @@
+// Figure and table builders keyed to the paper's evaluation artifacts.
+// Each builder takes a CampaignResult and produces the printable analog of
+// one paper figure/table; the bench binaries are thin wrappers around these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "geo/coords.h"
+#include "report/boxplot.h"
+#include "report/table.h"
+
+namespace ednsm::report {
+
+// Figures 1-4: response-time + ping box plots for the resolvers located on
+// `continent`, measured from `vantage_id`, sorted by ascending median
+// response time (the paper's ordering). Mainstream resolvers are included
+// (they are measured from everywhere) and marked bold.
+[[nodiscard]] std::vector<BoxRow> figure_rows(const core::CampaignResult& result,
+                                              const std::string& vantage_id,
+                                              geo::Continent continent);
+
+[[nodiscard]] std::string render_figure(const core::CampaignResult& result,
+                                        const std::string& vantage_id,
+                                        geo::Continent continent, const std::string& title,
+                                        double max_ms = 600.0);
+
+// Tables 2-3: the five non-mainstream resolvers on `continent` with the
+// largest increase in median response time between the near and far vantage,
+// as "Resolver | near (ms) | far (ms)" rows sorted by the gap.
+[[nodiscard]] Table remote_median_table(const core::CampaignResult& result,
+                                        geo::Continent continent,
+                                        const std::string& near_vantage,
+                                        const std::string& far_vantage, std::size_t top_n = 5);
+
+// §4 availability paragraph: success/error totals and the error taxonomy.
+[[nodiscard]] std::string availability_report(const core::CampaignResult& result);
+
+// Table 1: the browser x provider support matrix (static registry data).
+[[nodiscard]] Table browser_matrix();
+
+// §4 headline numbers: per-vantage maximum of per-resolver median response
+// times ("response times from resolvers were as high as 399 ms").
+[[nodiscard]] Table max_median_table(const core::CampaignResult& result);
+
+// Resolvers whose median beats every mainstream resolver from `vantage_id`
+// (the paper's "local non-mainstream winners": ordns.he.net & friends).
+[[nodiscard]] std::vector<std::string> nonmainstream_winners(const core::CampaignResult& result,
+                                                             const std::string& vantage_id);
+
+}  // namespace ednsm::report

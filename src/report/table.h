@@ -1,0 +1,36 @@
+// Plain-text / markdown table rendering for the reproduction reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ednsm::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  // Aligned monospace rendering with a separator under the header.
+  [[nodiscard]] std::string to_text() const;
+
+  // GitHub-flavored markdown.
+  [[nodiscard]] std::string to_markdown() const;
+
+  // Tab-separated (for piping into plotting tools).
+  [[nodiscard]] std::string to_tsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a double with `decimals` places ("12.3"); NaN renders as "-".
+[[nodiscard]] std::string fmt(double value, int decimals = 1);
+
+}  // namespace ednsm::report

@@ -1,0 +1,76 @@
+#include "resolver/anycast.h"
+
+#include <cassert>
+#include <limits>
+
+#include "geo/geodb.h"
+
+namespace ednsm::resolver {
+
+Deployment Deployment::unicast(AnycastSite site) {
+  Deployment d;
+  d.sites_.push_back(std::move(site));
+  return d;
+}
+
+Deployment Deployment::anycast(std::vector<AnycastSite> sites) {
+  assert(sites.size() >= 2 && "anycast needs at least two sites");
+  Deployment d;
+  d.sites_ = std::move(sites);
+  return d;
+}
+
+const AnycastSite& Deployment::site_for(const geo::GeoPoint& from) const {
+  const AnycastSite* best = &sites_.front();
+  double best_km = std::numeric_limits<double>::max();
+  for (const AnycastSite& site : sites_) {
+    const double km = geo::great_circle_km(from, site.location);
+    if (km < best_km) {
+      best_km = km;
+      best = &site;
+    }
+  }
+  return *best;
+}
+
+namespace c = geo::city;
+
+std::vector<AnycastSite> global_anycast_sites() {
+  return {
+      {"Chicago", c::kChicago},     {"Ashburn", c::kAshburn},
+      {"Dallas", c::kDallas},       {"Los Angeles", c::kLosAngeles},
+      {"Seattle", c::kSeattle},     {"Toronto", c::kToronto},
+      {"Frankfurt", c::kFrankfurt}, {"Amsterdam", c::kAmsterdam},
+      {"London", c::kLondon},       {"Paris", c::kParis},
+      {"Stockholm", c::kStockholm}, {"Warsaw", c::kWarsaw},
+      {"Seoul", c::kSeoul},         {"Tokyo", c::kTokyo},
+      {"Singapore", c::kSingapore}, {"Hong Kong", c::kHongKong},
+      {"Sydney", c::kSydney},       {"Mumbai", c::kMumbai},
+  };
+}
+
+std::vector<AnycastSite> regional_anycast_sites() {
+  return {
+      {"Ashburn", c::kAshburn},     {"Chicago", c::kChicago},
+      {"Los Angeles", c::kLosAngeles},
+      {"Frankfurt", c::kFrankfurt}, {"Amsterdam", c::kAmsterdam},
+      {"Tokyo", c::kTokyo},         {"Singapore", c::kSingapore},
+      {"Sydney", c::kSydney},
+  };
+}
+
+std::vector<AnycastSite> isp_backbone_sites() {
+  // Hurricane Electric's backbone is dense in North America and Europe with
+  // a lighter Asian footprint — which is why ordns.he.net wins from the
+  // Chicago home vantage but not from Seoul.
+  return {
+      {"Fremont", c::kFremont},   {"Chicago", c::kChicago},
+      {"New York", c::kNewYork},  {"Dallas", c::kDallas},
+      {"Miami", c::kMiami},       {"Seattle", c::kSeattle},
+      {"Frankfurt", c::kFrankfurt}, {"London", c::kLondon},
+      {"Amsterdam", c::kAmsterdam}, {"Tokyo", c::kTokyo},
+      {"Singapore", c::kSingapore},
+  };
+}
+
+}  // namespace ednsm::resolver

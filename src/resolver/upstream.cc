@@ -1,0 +1,72 @@
+#include "resolver/upstream.h"
+
+#include "util/bytes.h"
+
+namespace ednsm::resolver {
+
+double UpstreamModel::sample_latency_ms(netsim::Rng& rng) const {
+  const int span = depth_max - depth_min + 1;
+  const int depth =
+      depth_min + static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(span)));
+  double total = 0.0;
+  for (int i = 0; i < depth; ++i) {
+    total += rng.lognormal(authority_rtt_mu, authority_rtt_sigma);
+  }
+  return total;
+}
+
+bool sample_servfail(const UpstreamModel& model, netsim::Rng& rng) {
+  return rng.bernoulli(model.servfail_probability);
+}
+
+std::vector<dns::ResourceRecord> synthesize_answers(const dns::Name& qname,
+                                                    dns::RecordType qtype) {
+  std::vector<dns::ResourceRecord> answers;
+  const std::uint64_t h = util::fnv1a(qname.to_string());
+  const std::uint32_t ttl = 300 + static_cast<std::uint32_t>(h % 3600);
+
+  if (qtype == dns::RecordType::A || qtype == dns::RecordType::ANY) {
+    // Popular domains resolve to a few addresses; derive 1-3 from the hash.
+    const int count = 1 + static_cast<int>(h % 3);
+    for (int i = 0; i < count; ++i) {
+      dns::ResourceRecord rr;
+      rr.name = qname;
+      rr.type = dns::RecordType::A;
+      rr.ttl = ttl;
+      const std::uint64_t mix = h ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1));
+      dns::ARecord a;
+      a.address = {static_cast<std::uint8_t>(93 + (mix % 80)),
+                   static_cast<std::uint8_t>((mix >> 8) & 0xff),
+                   static_cast<std::uint8_t>((mix >> 16) & 0xff),
+                   static_cast<std::uint8_t>(1 + ((mix >> 24) % 250))};
+      rr.rdata = a;
+      answers.push_back(std::move(rr));
+    }
+  }
+  if (qtype == dns::RecordType::AAAA || qtype == dns::RecordType::ANY) {
+    dns::ResourceRecord rr;
+    rr.name = qname;
+    rr.type = dns::RecordType::AAAA;
+    rr.ttl = ttl;
+    dns::AaaaRecord aaaa;
+    aaaa.address[0] = 0x26;
+    aaaa.address[1] = 0x06;
+    for (std::size_t i = 2; i < 16; ++i) {
+      aaaa.address[i] = static_cast<std::uint8_t>((h >> ((i % 8) * 8)) & 0xff);
+    }
+    rr.rdata = aaaa;
+    answers.push_back(std::move(rr));
+  }
+  if (qtype == dns::RecordType::TXT) {
+    dns::ResourceRecord rr;
+    rr.name = qname;
+    rr.type = dns::RecordType::TXT;
+    rr.ttl = ttl;
+    rr.rdata = dns::TxtRecord{{"v=sim1 h=" + std::to_string(h % 100000)}};
+    answers.push_back(std::move(rr));
+  }
+  // Other qtypes: empty answer (NODATA), which the caller caches negatively.
+  return answers;
+}
+
+}  // namespace ednsm::resolver

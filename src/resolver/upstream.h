@@ -1,0 +1,50 @@
+// Upstream recursion model: what a recursive resolver does on a cache miss.
+//
+// A real recursive resolver walks the delegation chain (root -> TLD ->
+// authoritative). We model that walk as (a) a latency sample — a few
+// authority round trips whose cost depends on the resolver's location
+// relative to the authoritative infrastructure — and (b) a synthetic answer
+// generator that produces deterministic, stable A/AAAA records per domain so
+// responses round-trip through the full wire codec.
+//
+// The paper's measurements are intentionally cache-hit heavy ("most people
+// query sites that are already in cache"), so this path is exercised mostly
+// by the first query per (resolver, domain) and by TTL expiries during the
+// multi-week campaign.
+#pragma once
+
+#include <vector>
+
+#include "dns/message.h"
+#include "netsim/rng.h"
+#include "netsim/time.h"
+
+namespace ednsm::resolver {
+
+struct UpstreamModel {
+  // Authority round trips per miss: 1 (everything warm) .. depth_max.
+  int depth_min = 1;
+  int depth_max = 3;
+  // Per-round-trip latency: lognormal, roughly 10-60 ms depending on how
+  // close the resolver is to major authoritative deployments.
+  double authority_rtt_mu = 3.0;    // ln-ms; e^3 ~ 20 ms median
+  double authority_rtt_sigma = 0.6;
+  // Probability the whole recursion fails (lame delegation, timeout) and the
+  // resolver answers SERVFAIL after a long stall.
+  double servfail_probability = 0.002;
+  double servfail_stall_ms = 1500.0;
+
+  // Sample the recursion latency for one miss.
+  [[nodiscard]] double sample_latency_ms(netsim::Rng& rng) const;
+};
+
+// Deterministic synthetic answers: the same (qname, qtype) always yields the
+// same records, independent of resolver, so cross-resolver comparisons are
+// apples-to-apples. TTLs are domain-stable in [300, 3900) seconds.
+[[nodiscard]] std::vector<dns::ResourceRecord> synthesize_answers(const dns::Name& qname,
+                                                                  dns::RecordType qtype);
+
+// True if the recursion for this sample fails (SERVFAIL path).
+[[nodiscard]] bool sample_servfail(const UpstreamModel& model, netsim::Rng& rng);
+
+}  // namespace ednsm::resolver

@@ -1,0 +1,35 @@
+// Correlation measures for the paper's §3.1 analysis: "each time we issued a
+// set of DoH queries to a resolver, we also issued a ICMP ping message ...
+// This enabled us to explore whether there was a consistent relationship
+// between high query response times and network latency."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ednsm::stats {
+
+// Pearson product-moment correlation of paired samples. NaN when fewer than
+// two pairs or when either series is constant.
+[[nodiscard]] double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+// Spearman rank correlation (Pearson over ranks, average ranks for ties) —
+// the right tool when the relationship is monotone but not linear, as with
+// RTT-dominated response times under heavy-tailed jitter.
+[[nodiscard]] double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+// Ordinary-least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;
+  std::size_t n = 0;
+};
+
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+// Average ranks (1-based) with ties sharing the mean rank.
+[[nodiscard]] std::vector<double> ranks(const std::vector<double>& values);
+
+}  // namespace ednsm::stats

@@ -1,0 +1,54 @@
+#include "stats/group.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ednsm::stats {
+
+void GroupedSamples::add(const std::string& key, double value) {
+  groups_[key].push_back(value);
+  ++total_;
+}
+
+const std::vector<double>* GroupedSamples::samples(const std::string& key) const {
+  const auto it = groups_.find(key);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> GroupedSamples::keys() const {
+  std::vector<std::string> out;
+  out.reserve(groups_.size());
+  for (const auto& [k, v] : groups_) out.push_back(k);
+  return out;
+}
+
+double GroupedSamples::median_of(const std::string& key) const {
+  const auto* s = samples(key);
+  if (s == nullptr) return std::numeric_limits<double>::quiet_NaN();
+  return median(*s);
+}
+
+BoxSummary GroupedSamples::summary_of(const std::string& key) const {
+  const auto* s = samples(key);
+  if (s == nullptr) return {};
+  return box_summary(*s);
+}
+
+std::vector<std::string> GroupedSamples::keys_by_median() const {
+  std::vector<std::pair<double, std::string>> med;
+  med.reserve(groups_.size());
+  for (const auto& [k, v] : groups_) med.emplace_back(median(v), k);
+  std::sort(med.begin(), med.end(), [](const auto& a, const auto& b) {
+    if (std::isnan(a.first)) return false;
+    if (std::isnan(b.first)) return true;
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::string> out;
+  out.reserve(med.size());
+  for (auto& [m, k] : med) out.push_back(std::move(k));
+  return out;
+}
+
+}  // namespace ednsm::stats

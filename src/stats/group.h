@@ -1,0 +1,35 @@
+// Grouped sample collection: accumulate doubles under string keys, then
+// summarize per group. The report layer groups measurement records by
+// (resolver, vantage, metric) with this.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/quantile.h"
+
+namespace ednsm::stats {
+
+class GroupedSamples {
+ public:
+  void add(const std::string& key, double value);
+
+  [[nodiscard]] const std::vector<double>* samples(const std::string& key) const;
+  [[nodiscard]] std::vector<std::string> keys() const;  // sorted
+  [[nodiscard]] std::size_t group_count() const noexcept { return groups_.size(); }
+  [[nodiscard]] std::size_t total_samples() const noexcept { return total_; }
+
+  [[nodiscard]] double median_of(const std::string& key) const;  // NaN if absent
+  [[nodiscard]] BoxSummary summary_of(const std::string& key) const;
+
+  // Keys ordered by ascending median (the paper's figures sort resolvers by
+  // median response time).
+  [[nodiscard]] std::vector<std::string> keys_by_median() const;
+
+ private:
+  std::map<std::string, std::vector<double>> groups_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ednsm::stats

@@ -1,0 +1,41 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ednsm::stats {
+
+Histogram::Histogram(double bin_width_ms, std::size_t bins)
+    : width_(bin_width_ms), counts_(bins + 1, 0) {}
+
+void Histogram::add(double value_ms) noexcept {
+  ++total_;
+  if (value_ms < 0) value_ms = 0;
+  const auto idx = static_cast<std::size_t>(value_ms / width_);
+  if (idx >= counts_.size() - 1) {
+    ++counts_.back();
+  } else {
+    ++counts_[idx];
+  }
+}
+
+double Histogram::approx_quantile(double q) const noexcept {
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      if (i == counts_.size() - 1) return static_cast<double>(i) * width_;  // overflow bin
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cumulative) / static_cast<double>(counts_[i]);
+      return (static_cast<double>(i) + frac) * width_;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(counts_.size() - 1) * width_;
+}
+
+}  // namespace ednsm::stats

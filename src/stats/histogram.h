@@ -1,0 +1,32 @@
+// Fixed-bin latency histogram with log-ish resolution, for distribution
+// summaries without retaining every sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ednsm::stats {
+
+class Histogram {
+ public:
+  // Bins: [0, width), [width, 2*width), ... up to `bins`*width, plus an
+  // overflow bin.
+  Histogram(double bin_width_ms, std::size_t bins);
+
+  void add(double value_ms) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return counts_.back(); }
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const noexcept { return counts_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  // Approximate quantile by bin interpolation (NaN when empty).
+  [[nodiscard]] double approx_quantile(double q) const noexcept;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;  // last element = overflow
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ednsm::stats

@@ -1,0 +1,55 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ednsm::stats {
+
+namespace {
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+}  // namespace
+
+double quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return sorted_quantile(values, q);
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+BoxSummary box_summary(std::vector<double> values) {
+  BoxSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = sorted_quantile(values, 0.25);
+  s.median = sorted_quantile(values, 0.5);
+  s.q3 = sorted_quantile(values, 0.75);
+
+  const double fence_low = s.q1 - 1.5 * s.iqr();
+  const double fence_high = s.q3 + 1.5 * s.iqr();
+  s.whisker_low = s.max;   // will shrink below
+  s.whisker_high = s.min;
+  for (double v : values) {
+    if (v < fence_low || v > fence_high) {
+      s.outliers.push_back(v);
+    } else {
+      s.whisker_low = std::min(s.whisker_low, v);
+      s.whisker_high = std::max(s.whisker_high, v);
+    }
+  }
+  return s;
+}
+
+}  // namespace ednsm::stats

@@ -1,0 +1,29 @@
+// Quantiles and box-plot summaries (the paper's figures are box plots of
+// response-time and ping distributions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ednsm::stats {
+
+// Type-7 (linear interpolation) quantile, the R/NumPy default. `q` in [0,1].
+// Input need not be sorted; an empty input returns NaN.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+[[nodiscard]] double median(std::vector<double> values);
+
+// Five-number box-plot summary with Tukey 1.5*IQR whiskers.
+struct BoxSummary {
+  std::size_t count = 0;
+  double min = 0, max = 0;
+  double q1 = 0, median = 0, q3 = 0;
+  double whisker_low = 0, whisker_high = 0;  // clamped to data range
+  std::vector<double> outliers;              // points beyond the whiskers
+
+  [[nodiscard]] double iqr() const noexcept { return q3 - q1; }
+};
+
+[[nodiscard]] BoxSummary box_summary(std::vector<double> values);
+
+}  // namespace ednsm::stats

@@ -1,0 +1,88 @@
+// Connection pool for one vantage host.
+//
+// Encrypted DNS cost is dominated by connection setup (TCP + TLS round
+// trips); Zhu et al. and Böttger et al. both show the overhead is largely
+// amortized by connection re-use. The pool implements the three policies the
+// ablation bench compares:
+//   None              every query pays TCP + full TLS
+//   Keepalive         live sessions are re-used while they last
+//   TicketResumption  like Keepalive, plus PSK tickets cut the crypto cost
+//                     (and optionally carry 0-RTT early data) after a session
+//                     dies
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "transport/tcp.h"
+#include "transport/tls.h"
+#include "transport/udp.h"
+
+namespace ednsm::transport {
+
+enum class ReusePolicy {
+  None,
+  Keepalive,
+  TicketResumption,
+};
+
+[[nodiscard]] std::string_view to_string(ReusePolicy p) noexcept;
+
+class ConnectionPool {
+ public:
+  // A leased session: valid until release()/invalidate(). `fresh` says the
+  // lease paid connection setup; `early_data_accepted` says the request
+  // already reached the server inside the handshake (0-RTT).
+  struct Lease {
+    TcpConnection* tcp = nullptr;
+    TlsClient* tls = nullptr;
+    bool fresh = false;
+    TlsMode mode = TlsMode::Full;
+    bool early_data_accepted = false;
+  };
+  using AcquireCallback = std::function<void(Result<Lease>)>;
+
+  ConnectionPool(netsim::Network& net, netsim::IpAddr local_ip);
+  ~ConnectionPool();
+
+  ConnectionPool(const ConnectionPool&) = delete;
+  ConnectionPool& operator=(const ConnectionPool&) = delete;
+
+  // Ensure an established TLS session to (remote, sni). With
+  // TicketResumption and a stored ticket, `early_data` (if non-empty) is
+  // offered as 0-RTT. The callback fires exactly once.
+  void acquire(const netsim::Endpoint& remote, const std::string& sni, ReusePolicy policy,
+               util::Bytes early_data, AcquireCallback cb);
+
+  // Drop the pooled session for (remote, sni) — call after transport errors.
+  // The stored ticket survives (real clients retry with resumption).
+  void invalidate(const netsim::Endpoint& remote, const std::string& sni);
+
+  // Forget the resumption ticket too (e.g. server rejected it).
+  void forget_ticket(const netsim::Endpoint& remote, const std::string& sni);
+
+  [[nodiscard]] std::size_t live_sessions() const noexcept { return sessions_.size(); }
+  [[nodiscard]] bool has_ticket(const netsim::Endpoint& remote, const std::string& sni) const;
+  [[nodiscard]] netsim::IpAddr local_ip() const noexcept { return local_ip_; }
+
+ private:
+  struct Session {
+    TcpConnection tcp;
+    TlsClient tls;
+    Session(netsim::Network& net, netsim::Endpoint local, netsim::Endpoint remote,
+            std::uint32_t conn_id, TlsClientConfig config)
+        : tcp(net, local, remote, conn_id), tls(tcp, std::move(config)) {}
+  };
+  using Key = std::pair<netsim::Endpoint, std::string>;
+
+  netsim::Network& net_;
+  netsim::IpAddr local_ip_;
+  std::uint32_t next_conn_id_ = 1;
+  std::map<Key, std::unique_ptr<Session>> sessions_;
+  std::map<Key, SessionTicket> tickets_;
+};
+
+}  // namespace ednsm::transport

@@ -1,0 +1,21 @@
+#include "transport/udp.h"
+
+namespace ednsm::transport {
+
+UdpSocket::UdpSocket(netsim::Network& net, netsim::Endpoint local)
+    : net_(net), local_(local) {
+  net_.bind(local_, [this](const netsim::Datagram& d) {
+    if (handler_) handler_(d);
+  });
+}
+
+UdpSocket::~UdpSocket() { net_.unbind(local_); }
+
+void UdpSocket::on_receive(ReceiveHandler handler) { handler_ = std::move(handler); }
+
+void UdpSocket::send_to(const netsim::Endpoint& dst, util::Bytes payload) {
+  net_.send(netsim::Datagram{local_, dst, std::move(payload)});
+}
+
+
+}  // namespace ednsm::transport

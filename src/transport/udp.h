@@ -1,0 +1,34 @@
+// UDP socket over the simulated network: bind a local endpoint, send
+// datagrams, receive via callback. Do53 runs on this directly.
+#pragma once
+
+#include <functional>
+
+#include "netsim/network.h"
+
+namespace ednsm::transport {
+
+class UdpSocket {
+ public:
+  using ReceiveHandler = std::function<void(const netsim::Datagram&)>;
+
+  // Binds immediately; unbinds on destruction (RAII).
+  UdpSocket(netsim::Network& net, netsim::Endpoint local);
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  void on_receive(ReceiveHandler handler);
+  void send_to(const netsim::Endpoint& dst, util::Bytes payload);
+
+  [[nodiscard]] const netsim::Endpoint& local() const noexcept { return local_; }
+
+ private:
+  netsim::Network& net_;
+  netsim::Endpoint local_;
+  ReceiveHandler handler_;
+};
+
+
+}  // namespace ednsm::transport

@@ -1,0 +1,29 @@
+// Byte-sequence helpers used by the wire codecs and test assertions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ednsm::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Lowercase hex dump, no separators: {0xde, 0xad} -> "dead".
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+// Inverse of to_hex; returns false on odd length or non-hex characters.
+[[nodiscard]] bool from_hex(std::string_view hex, Bytes& out);
+
+// Interpret a byte span as text (for HTTP bodies and test assertions).
+[[nodiscard]] std::string as_string(std::span<const std::uint8_t> data);
+
+// Copy text into a byte vector.
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+// FNV-1a 64-bit hash; used for deterministic per-key jitter seeds.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept;
+
+}  // namespace ednsm::util

@@ -1,0 +1,123 @@
+// Result<T, E>: a minimal std::expected work-alike for recoverable errors.
+//
+// libstdc++ shipped with GCC 12 does not provide std::expected under C++20,
+// so the toolkit carries its own. The API intentionally mirrors the subset of
+// std::expected we use: has_value / value / error / value_or / map / and_then,
+// plus Err<E> as the unexpected-value carrier.
+//
+// Exceptions are reserved for programming errors (contract violations);
+// everything recoverable — malformed wire data, connection failures, HTTP
+// errors — travels through Result.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ednsm {
+
+// Wrapper distinguishing an error value from a success value when the two
+// types coincide (e.g. Result<std::string, std::string>).
+template <typename E>
+struct Err {
+  E value;
+};
+
+template <typename E>
+Err(E) -> Err<E>;
+
+// Thrown only when value()/error() is called on the wrong alternative:
+// that is a caller bug, not a recoverable condition.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const char* what) : std::logic_error(what) {}
+};
+
+template <typename T, typename E = std::string>
+class [[nodiscard]] Result {
+ public:
+  using value_type = T;
+  using error_type = E;
+
+  // Implicit from both alternatives keeps call sites terse:
+  //   return parsed_message;          // success
+  //   return Err{"short header"s};    // failure
+  Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}
+  Result(Err<E> error) : repr_(std::in_place_index<1>, std::move(error.value)) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return repr_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    if (!has_value()) throw BadResultAccess("Result::value() on error");
+    return std::get<0>(repr_);
+  }
+  [[nodiscard]] const T& value() const& {
+    if (!has_value()) throw BadResultAccess("Result::value() on error");
+    return std::get<0>(repr_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!has_value()) throw BadResultAccess("Result::value() on error");
+    return std::get<0>(std::move(repr_));
+  }
+
+  [[nodiscard]] E& error() & {
+    if (has_value()) throw BadResultAccess("Result::error() on value");
+    return std::get<1>(repr_);
+  }
+  [[nodiscard]] const E& error() const& {
+    if (has_value()) throw BadResultAccess("Result::error() on value");
+    return std::get<1>(repr_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(repr_) : std::move(fallback);
+  }
+
+  // map: transform the success value, propagate the error untouched.
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) const& -> Result<std::invoke_result_t<F, const T&>, E> {
+    if (has_value()) return f(std::get<0>(repr_));
+    return Err<E>{std::get<1>(repr_)};
+  }
+
+  // and_then: chain an operation that itself may fail.
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) const& -> std::invoke_result_t<F, const T&> {
+    using R = std::invoke_result_t<F, const T&>;
+    static_assert(std::is_same_v<typename R::error_type, E>,
+                  "and_then must preserve the error type");
+    if (has_value()) return f(std::get<0>(repr_));
+    return Err<E>{std::get<1>(repr_)};
+  }
+
+ private:
+  std::variant<T, E> repr_;
+};
+
+// Result<void, E> specialization: success carries no payload.
+template <typename E>
+class [[nodiscard]] Result<void, E> {
+ public:
+  using value_type = void;
+  using error_type = E;
+
+  Result() : error_(), ok_(true) {}
+  Result(Err<E> error) : error_(std::move(error.value)), ok_(false) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+
+  [[nodiscard]] const E& error() const& {
+    if (ok_) throw BadResultAccess("Result<void>::error() on value");
+    return error_;
+  }
+
+ private:
+  E error_;
+  bool ok_;
+};
+
+}  // namespace ednsm

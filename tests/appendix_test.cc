@@ -1,0 +1,149 @@
+// Fidelity check: the resolver registry must contain exactly the hostnames
+// the paper's Appendix A.2 enumerates — no more, no less. The list below is
+// transcribed verbatim from the paper (75 hostnames; "jp-tiar.app" appears as
+// written in A.2 even though the figures render it "jp.tiar.app").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "resolver/registry.h"
+
+namespace ednsm::resolver {
+namespace {
+
+const std::set<std::string>& appendix_a2() {
+  static const std::set<std::string> kHostnames = {
+      "anycast.dns.nextdns.io",
+      "unicast.uncensoreddns.org",
+      "doh.ffmuc.net",
+      "jp-tiar.app",
+      "dns.therifleman.name",
+      "doh.pub",
+      "dns10.quad9.net",
+      "dns.adguard.com",
+      "doh.mullvad.net",
+      "dns12.quad9.net",
+      "dns-unfiltered.adguard.com",
+      "dns.alidns.com",
+      "helios.plan9-dns.com",
+      "dns1.ryan-palmer.com",
+      "dns.digitale-gesellschaft.ch",
+      "chewbacca.meganerd.nl",
+      "ordns.he.net",
+      "dns11.quad9.net",
+      "anycast.uncensoreddns.org",
+      "doh.libredns.gr",
+      "dns.brahma.world",
+      "dns.switch.ch",
+      "dns-doh-no-safe-search.dnsforfamily.com",
+      "ibksturm.synology.me",
+      "kronos.plan9-dns.com",
+      "dns-family.adguard.com",
+      "freedns.controld.com",
+      "dnsforge.de",
+      "dns-doh.dnsforfamily.com",
+      "public.dns.iij.jp",
+      "family.cloudflare-dns.com",
+      "dns.google",
+      "v.dnscrypt.uk",
+      "doh.dnscrypt.uk",
+      "doh.safesurfer.io",
+      "doh.la.ahadns.net",
+      "doh.tiar.app",
+      "doh.sb",
+      "doh-2.seby.io",
+      "dns.twnic.tw",
+      "dns.njal.la",
+      "pluton.plan9-dns.com",
+      "doh.seby.io",
+      "dns.quad9.net",
+      "dns.digitalsize.net",
+      "dns9.quad9.net",
+      "dohtrial.att.net",
+      "doh.nl.ahadns.net",
+      "adblock.doh.mullvad.net",
+      "adl.adfilter.net",
+      "per.adfilter.net",
+      "syd.adfilter.net",
+      "dns.nextdns.io",
+      "dns0.eu",
+      "doh.360.cn",
+      "open.dns0.eu",
+      "dnslow.me",
+      "kids.dns0.eu",
+      "pdns.itxe.net",
+      "security.cloudflare-dns.com",
+      "sby-doh.limotelu.org",
+      "dns.bebasid.com",
+      "1dot1dot1dot1.cloudflare-dns.com",
+      "antivirus.bebasid.com",
+      "odoh-target-noads.alekberg.net",
+      "odoh-target-se.alekberg.net",
+      "odoh-target-noads-se.alekberg.net",
+      "odoh-target.alekberg.net",
+      "dnsse-noads.alekberg.net",
+      "dnsse.alekberg.net",
+      "family.puredns.org",
+      "dnsnl.alekberg.net",
+      "dnsnl-noads.alekberg.net",
+      "puredns.org",
+      "dns.circl.lu",
+  };
+  return kHostnames;
+}
+
+TEST(AppendixA2, ListHas75Entries) { EXPECT_EQ(appendix_a2().size(), 75u); }
+
+TEST(AppendixA2, RegistryContainsEveryAppendixHostname) {
+  for (const std::string& host : appendix_a2()) {
+    EXPECT_NE(find_resolver(host), nullptr) << "missing from registry: " << host;
+  }
+}
+
+TEST(AppendixA2, RegistryContainsNothingElse) {
+  for (const ResolverSpec& spec : paper_resolver_list()) {
+    EXPECT_TRUE(appendix_a2().contains(spec.hostname))
+        << "registry hostname not in Appendix A.2: " << spec.hostname;
+  }
+  EXPECT_EQ(paper_resolver_list().size(), appendix_a2().size());
+}
+
+TEST(AppendixA2, EveryResolverHasAtLeastOneSite) {
+  for (const ResolverSpec& spec : paper_resolver_list()) {
+    EXPECT_FALSE(spec.sites.empty()) << spec.hostname;
+    // Unicast resolvers: the registry location matches the single site.
+    if (spec.sites.size() == 1) {
+      EXPECT_EQ(spec.sites.front().location, spec.location) << spec.hostname;
+    }
+  }
+}
+
+TEST(AppendixA2, QuadNineFamilyConsistent) {
+  // All five quad9 hostnames present and mainstream.
+  int quad9 = 0;
+  for (const ResolverSpec& spec : paper_resolver_list()) {
+    if (spec.hostname.find("quad9.net") != std::string::npos) {
+      ++quad9;
+      EXPECT_TRUE(spec.mainstream) << spec.hostname;
+    }
+  }
+  EXPECT_EQ(quad9, 5);
+}
+
+TEST(AppendixA2, AlekbergFamilySplit) {
+  // The four odoh-target hosts are ODoH targets; the four dnsse/dnsnl hosts
+  // are ordinary DoH in the EU.
+  for (const ResolverSpec& spec : paper_resolver_list()) {
+    if (spec.hostname.starts_with("odoh-target")) {
+      EXPECT_TRUE(spec.odoh_target) << spec.hostname;
+    }
+    if (spec.hostname.starts_with("dnsse") || spec.hostname.starts_with("dnsnl")) {
+      EXPECT_FALSE(spec.odoh_target) << spec.hostname;
+      EXPECT_EQ(spec.continent, geo::Continent::Europe) << spec.hostname;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ednsm::resolver

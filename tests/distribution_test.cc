@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/distribution.h"
+
+namespace ednsm::core {
+namespace {
+
+// ---- privacy ledger ----------------------------------------------------------
+
+TEST(PrivacyLedger, EmptyLedger) {
+  PrivacyLedger ledger;
+  EXPECT_EQ(ledger.total(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.max_share(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.entropy_bits(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.max_domain_coverage(), 0.0);
+}
+
+TEST(PrivacyLedger, SingleResolverSeesEverything) {
+  PrivacyLedger ledger;
+  ledger.record("r1", "a.com");
+  ledger.record("r1", "b.com");
+  EXPECT_DOUBLE_EQ(ledger.max_share(), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.entropy_bits(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.max_domain_coverage(), 1.0);
+  EXPECT_EQ(ledger.queries_seen("r1"), 2u);
+  EXPECT_EQ(ledger.domains_seen("r1"), 2u);
+  EXPECT_EQ(ledger.queries_seen("r2"), 0u);
+}
+
+TEST(PrivacyLedger, PerfectSplitMaximizesEntropy) {
+  PrivacyLedger ledger;
+  for (int i = 0; i < 100; ++i) {
+    ledger.record(i % 2 == 0 ? "r1" : "r2", "d" + std::to_string(i) + ".com");
+  }
+  EXPECT_DOUBLE_EQ(ledger.max_share(), 0.5);
+  EXPECT_NEAR(ledger.entropy_bits(), 1.0, 1e-12);  // log2(2)
+  EXPECT_DOUBLE_EQ(ledger.max_domain_coverage(), 0.5);
+}
+
+TEST(PrivacyLedger, RepeatedDomainCountsOncePerResolver) {
+  PrivacyLedger ledger;
+  ledger.record("r1", "a.com");
+  ledger.record("r1", "a.com");
+  EXPECT_EQ(ledger.total(), 2u);
+  EXPECT_EQ(ledger.domains_seen("r1"), 1u);
+}
+
+// ---- zipf workload -------------------------------------------------------------
+
+TEST(ZipfWorkload, SizeAndSkew) {
+  const auto w = zipf_workload(100, 10000, 1.0, 7);
+  EXPECT_EQ(w.size(), 10000u);
+  std::map<std::string, int> counts;
+  for (const auto& d : w) ++counts[d];
+  // The rank-0 domain must dominate the tail under alpha = 1.
+  EXPECT_GT(counts["site0.example.com"], 1000);
+  EXPECT_LT(counts["site99.example.com"], counts["site0.example.com"] / 5);
+  // Not *everything* collapses to the head.
+  EXPECT_GT(counts.size(), 50u);
+}
+
+TEST(ZipfWorkload, DeterministicForSeed) {
+  EXPECT_EQ(zipf_workload(50, 100, 0.9, 3), zipf_workload(50, 100, 0.9, 3));
+  EXPECT_NE(zipf_workload(50, 100, 0.9, 3), zipf_workload(50, 100, 0.9, 4));
+}
+
+// ---- strategies (pure pick(), no network) ---------------------------------------
+
+struct DistFixture : ::testing::Test {
+  SimWorld world{61};
+  std::vector<std::string> resolvers = {"dns.google", "dns.quad9.net",
+                                        "security.cloudflare-dns.com", "ordns.he.net"};
+
+  QueryDistributor make(DistributionStrategy strategy, int k = 2) {
+    DistributorConfig config;
+    config.strategy = strategy;
+    config.k = k;
+    config.seed = 99;
+    return QueryDistributor(world, "ec2-ohio", resolvers, config);
+  }
+};
+
+TEST_F(DistFixture, RoundRobinCycles) {
+  auto d = make(DistributionStrategy::RoundRobin);
+  std::vector<std::string> picks;
+  for (int i = 0; i < 8; ++i) picks.push_back(d.pick("x.com"));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(picks[static_cast<std::size_t>(i)], resolvers[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(picks[4], resolvers[0]);
+}
+
+TEST_F(DistFixture, HashShardedIsStablePerDomain) {
+  auto d = make(DistributionStrategy::HashSharded);
+  const std::string first = d.pick("news.example.com");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.pick("news.example.com"), first);
+  // Different domains spread across resolvers.
+  std::set<std::string> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(d.pick("d" + std::to_string(i) + ".com"));
+  EXPECT_GT(seen.size(), 2u);
+}
+
+TEST_F(DistFixture, UniformRandomCoversAll) {
+  auto d = make(DistributionStrategy::UniformRandom);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(d.pick("x.com"));
+  EXPECT_EQ(seen.size(), resolvers.size());
+}
+
+TEST_F(DistFixture, EmptyResolverSetThrows) {
+  DistributorConfig config;
+  EXPECT_THROW(QueryDistributor(world, "ec2-ohio", {}, config), std::invalid_argument);
+}
+
+// ---- calibration + end-to-end -----------------------------------------------------
+
+TEST_F(DistFixture, CalibrationRanksLocalResolversFirst) {
+  // Include a far-away unicast resolver: it must rank last from Ohio.
+  std::vector<std::string> mixed = {"doh.ffmuc.net", "dns.google", "freedns.controld.com"};
+  DistributorConfig config;
+  config.strategy = DistributionStrategy::SingleFastest;
+  QueryDistributor d(world, "ec2-ohio", mixed, config);
+  d.calibrate(3);
+  ASSERT_EQ(d.ranking().size(), 3u);
+  EXPECT_EQ(d.ranking().back(), "doh.ffmuc.net");
+  EXPECT_EQ(d.pick("anything.com"), d.ranking().front());
+}
+
+TEST_F(DistFixture, FastestKPicksOnlyFromTopK) {
+  std::vector<std::string> mixed = {"doh.ffmuc.net", "dns.google", "freedns.controld.com",
+                                    "dns.quad9.net"};
+  DistributorConfig config;
+  config.strategy = DistributionStrategy::FastestK;
+  config.k = 2;
+  config.seed = 5;
+  QueryDistributor d(world, "ec2-ohio", mixed, config);
+  d.calibrate(3);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(d.pick("x.com"));
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_FALSE(seen.contains("doh.ffmuc.net"));
+}
+
+TEST_F(DistFixture, ResolveRecordsPrivacyAndAnswers) {
+  auto d = make(DistributionStrategy::RoundRobin);
+  int ok = 0;
+  const auto workload = zipf_workload(20, 40, 1.0, 1);
+  for (const std::string& domain : workload) {
+    d.resolve(domain, [&](const std::string& resolver, client::QueryOutcome o) {
+      EXPECT_FALSE(resolver.empty());
+      if (o.ok) ++ok;
+    });
+    world.run();
+  }
+  EXPECT_GT(ok, 35);
+  EXPECT_EQ(d.privacy().total(), 40u);
+  // Round-robin: perfectly even query split.
+  EXPECT_NEAR(d.privacy().max_share(), 0.25, 1e-9);
+  EXPECT_NEAR(d.privacy().entropy_bits(), 2.0, 1e-9);
+}
+
+TEST_F(DistFixture, ShardingLimitsDomainCoverage) {
+  auto sharded = make(DistributionStrategy::HashSharded);
+  auto single = make(DistributionStrategy::SingleFastest);
+  const auto workload = zipf_workload(50, 120, 1.0, 2);
+  for (const std::string& domain : workload) {
+    (void)sharded.pick(domain);
+    sharded.resolve(domain, [](const std::string&, client::QueryOutcome) {});
+    single.resolve(domain, [](const std::string&, client::QueryOutcome) {});
+    world.run();
+  }
+  EXPECT_LT(sharded.privacy().max_domain_coverage(), 0.75);
+  EXPECT_DOUBLE_EQ(single.privacy().max_domain_coverage(), 1.0);
+}
+
+}  // namespace
+}  // namespace ednsm::core

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "dns/base64url.h"
+#include "netsim/rng.h"
+
+namespace ednsm::dns {
+namespace {
+
+TEST(Base64Url, Rfc4648Vectors) {
+  // RFC 4648 §10 test vectors, with padding stripped.
+  EXPECT_EQ(base64url_encode(util::to_bytes("")), "");
+  EXPECT_EQ(base64url_encode(util::to_bytes("f")), "Zg");
+  EXPECT_EQ(base64url_encode(util::to_bytes("fo")), "Zm8");
+  EXPECT_EQ(base64url_encode(util::to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64url_encode(util::to_bytes("foob")), "Zm9vYg");
+  EXPECT_EQ(base64url_encode(util::to_bytes("fooba")), "Zm9vYmE");
+  EXPECT_EQ(base64url_encode(util::to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Url, UrlSafeAlphabet) {
+  // 0xfb 0xff encodes to characters that differ between base64 and base64url.
+  const util::Bytes data = {0xfb, 0xff, 0xfe};
+  const std::string enc = base64url_encode(data);
+  EXPECT_EQ(enc.find('+'), std::string::npos);
+  EXPECT_EQ(enc.find('/'), std::string::npos);
+  EXPECT_NE(enc.find_first_of("-_"), std::string::npos);
+}
+
+TEST(Base64Url, DecodeRejectsPadding) {
+  EXPECT_FALSE(base64url_decode("Zg==").has_value());
+}
+
+TEST(Base64Url, DecodeRejectsStandardAlphabet) {
+  EXPECT_FALSE(base64url_decode("+/").has_value());
+}
+
+TEST(Base64Url, DecodeRejectsWhitespace) {
+  EXPECT_FALSE(base64url_decode("Zm 9v").has_value());
+}
+
+TEST(Base64Url, DecodeRejectsLength1Mod4) {
+  EXPECT_FALSE(base64url_decode("Zm9vY").has_value());
+}
+
+TEST(Base64Url, DecodeRejectsNonCanonicalTrailingBits) {
+  // "Zh" decodes 'f' only if trailing bits are zero; "Zh" has nonzero bits.
+  EXPECT_TRUE(base64url_decode("Zg").has_value());
+  EXPECT_FALSE(base64url_decode("Zh").has_value());
+}
+
+TEST(Base64Url, EmptyRoundTrip) {
+  auto d = base64url_decode("");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d.value().empty());
+}
+
+// Property sweep: encode/decode must be the identity for random inputs of
+// every length class (0, 1, 2 mod 3) and sizes up to a few KiB.
+class Base64UrlRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base64UrlRoundTrip, Identity) {
+  netsim::Rng rng(GetParam() * 7919 + 1);
+  util::Bytes data(GetParam());
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+
+  const std::string encoded = base64url_encode(data);
+  auto decoded = base64url_decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded.value(), data);
+  // Unpadded length formula: ceil(4n/3).
+  EXPECT_EQ(encoded.size(), (data.size() * 4 + 2) / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Base64UrlRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 16, 17, 63, 64, 100, 255, 256,
+                                           1024, 4096));
+
+}  // namespace
+}  // namespace ednsm::dns

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+#include "http/doh_media.h"
+#include "http/h1.h"
+#include "http/h2.h"
+#include "http/hpack.h"
+
+namespace ednsm::http {
+namespace {
+
+// ---- HTTP/1.1 -----------------------------------------------------------------
+
+TEST(H1, RequestRoundTrip) {
+  Request req;
+  req.method = "POST";
+  req.path = "/dns-query";
+  req.authority = "dns.example";
+  req.headers.emplace_back("accept", "application/dns-message");
+  req.headers.emplace_back("content-type", "application/dns-message");
+  req.body = util::to_bytes("BODY");
+
+  auto decoded = Request::decode(req.encode());
+  ASSERT_TRUE(decoded.has_value()) << decoded.error();
+  EXPECT_EQ(decoded.value().method, "POST");
+  EXPECT_EQ(decoded.value().path, "/dns-query");
+  EXPECT_EQ(decoded.value().authority, "dns.example");
+  EXPECT_EQ(decoded.value().body, util::to_bytes("BODY"));
+  EXPECT_NE(find_header(decoded.value().headers, "Content-Type"), nullptr);
+}
+
+TEST(H1, GetRequestWithoutBody) {
+  Request req;
+  req.method = "GET";
+  req.path = "/dns-query?dns=AAAA";
+  req.authority = "dns.example";
+  auto decoded = Request::decode(req.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded.value().body.empty());
+}
+
+TEST(H1, ResponseRoundTrip) {
+  Response resp;
+  resp.status = 200;
+  resp.headers.emplace_back("content-type", "application/dns-message");
+  resp.body = util::to_bytes("answer");
+  auto decoded = Response::decode(resp.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded.value().status, 200);
+  EXPECT_EQ(decoded.value().body, util::to_bytes("answer"));
+}
+
+TEST(H1, ResponseStatusLineVariants) {
+  auto decoded = Response::decode(util::to_bytes(
+      "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded.value().status, 404);
+  EXPECT_EQ(decoded.value().reason, "Not Found");
+}
+
+TEST(H1, RejectsMissingTerminator) {
+  EXPECT_FALSE(Request::decode(util::to_bytes("GET / HTTP/1.1\r\n")).has_value());
+}
+
+TEST(H1, RejectsBadVersion) {
+  EXPECT_FALSE(Request::decode(util::to_bytes("GET / HTTP/1.0\r\n\r\n")).has_value());
+  EXPECT_FALSE(Response::decode(util::to_bytes("HTTP/2 200 OK\r\n\r\n")).has_value());
+}
+
+TEST(H1, RejectsContentLengthMismatch) {
+  EXPECT_FALSE(Response::decode(util::to_bytes(
+      "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort")).has_value());
+  EXPECT_FALSE(Response::decode(util::to_bytes(
+      "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\ntoolong")).has_value());
+}
+
+TEST(H1, RejectsBadStatus) {
+  EXPECT_FALSE(Response::decode(util::to_bytes("HTTP/1.1 abc OK\r\n\r\n")).has_value());
+  EXPECT_FALSE(Response::decode(util::to_bytes("HTTP/1.1 99 X\r\n\r\n")).has_value());
+}
+
+TEST(H1, HeaderLookupIsCaseInsensitive) {
+  HeaderList headers = {{"Content-Type", "text/plain"}};
+  EXPECT_NE(find_header(headers, "content-type"), nullptr);
+  EXPECT_NE(find_header(headers, "CONTENT-TYPE"), nullptr);
+  EXPECT_EQ(find_header(headers, "accept"), nullptr);
+}
+
+TEST(H1, DefaultReasons) {
+  EXPECT_EQ(default_reason(200), "OK");
+  EXPECT_EQ(default_reason(503), "Service Unavailable");
+  EXPECT_EQ(default_reason(299), "Unknown");
+}
+
+// ---- HPACK ----------------------------------------------------------------------
+
+TEST(Hpack, IntegerCoding) {
+  // RFC 7541 C.1 examples.
+  util::Bytes out;
+  hpack::encode_integer(out, 5, 0, 10);
+  EXPECT_EQ(out, (util::Bytes{0x0a}));
+  out.clear();
+  hpack::encode_integer(out, 5, 0, 1337);
+  EXPECT_EQ(out, (util::Bytes{0x1f, 0x9a, 0x0a}));
+
+  std::size_t pos = 0;
+  auto v = hpack::decode_integer(out, pos, 5);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v.value(), 1337u);
+  EXPECT_EQ(pos, 3u);
+}
+
+TEST(Hpack, IntegerDecodeRejectsTruncation) {
+  const util::Bytes partial = {0x1f, 0x9a};
+  std::size_t pos = 0;
+  EXPECT_FALSE(hpack::decode_integer(partial, pos, 5).has_value());
+}
+
+TEST(Hpack, StaticTableSize) {
+  EXPECT_EQ(hpack::static_table().size(), 61u);
+  EXPECT_EQ(hpack::static_table()[1], (hpack::Header{":method", "GET"}));
+  EXPECT_EQ(hpack::static_table()[7], (hpack::Header{":status", "200"}));
+}
+
+TEST(Hpack, RoundTripWithStaticMatches) {
+  hpack::Encoder enc;
+  hpack::Decoder dec;
+  const std::vector<hpack::Header> headers = {
+      {":method", "GET"},
+      {":scheme", "https"},
+      {":authority", "dns.example"},
+      {":path", "/dns-query?dns=AAAA"},
+      {"accept", "application/dns-message"},
+  };
+  const util::Bytes block = enc.encode(headers);
+  auto decoded = dec.decode(block);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded.value(), headers);
+}
+
+TEST(Hpack, SecondEncodingIsSmaller) {
+  hpack::Encoder enc;
+  const std::vector<hpack::Header> headers = {
+      {":authority", "dns.example"},
+      {"accept", "application/dns-message"},
+      {"user-agent", "ednsm/1.0"},
+  };
+  const util::Bytes first = enc.encode(headers);
+  const util::Bytes second = enc.encode(headers);
+  EXPECT_LT(second.size(), first.size());
+  EXPECT_LE(second.size(), headers.size() * 2);  // all indexed
+}
+
+TEST(Hpack, EncoderDecoderStayInSync) {
+  hpack::Encoder enc;
+  hpack::Decoder dec;
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<hpack::Header> headers = {
+        {":path", "/q" + std::to_string(i)},
+        {"x-round", std::to_string(i)},
+        {"x-const", "same-every-time"},
+    };
+    auto decoded = dec.decode(enc.encode(headers));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded.value(), headers);
+  }
+}
+
+TEST(Hpack, DynamicTableEviction) {
+  hpack::DynamicTable table(100);
+  table.insert({"aaaaaaaaaa", "bbbbbbbbbb"});  // 52 bytes
+  table.insert({"cccccccccc", "dddddddddd"});  // 52 -> first evicted
+  EXPECT_EQ(table.count(), 1u);
+  EXPECT_EQ(table.at(0)->first, "cccccccccc");
+}
+
+TEST(Hpack, DecodeRejectsBadIndex) {
+  hpack::Decoder dec;
+  const util::Bytes block = {0xFF, 0x7F};  // indexed field with huge index
+  EXPECT_FALSE(dec.decode(block).has_value());
+}
+
+TEST(Hpack, DecodeRejectsHuffman) {
+  hpack::Decoder dec;
+  // Literal with incremental indexing, new name, Huffman bit set.
+  const util::Bytes block = {0x40, 0x81, 0x8f};
+  EXPECT_FALSE(dec.decode(block).has_value());
+}
+
+// ---- HTTP/2 ----------------------------------------------------------------------
+
+TEST(H2, FrameCodecRoundTrip) {
+  Frame f;
+  f.type = FrameType::Headers;
+  f.flags = kFlagEndHeaders | kFlagEndStream;
+  f.stream_id = 5;
+  f.payload = util::to_bytes("block");
+  auto frames = decode_frames(f.encode());
+  ASSERT_TRUE(frames.has_value());
+  ASSERT_EQ(frames.value().size(), 1u);
+  EXPECT_EQ(frames.value()[0].stream_id, 5u);
+  EXPECT_EQ(frames.value()[0].payload, util::to_bytes("block"));
+}
+
+TEST(H2, DecodeMultipleFrames) {
+  Frame a;
+  a.type = FrameType::Settings;
+  Frame b;
+  b.type = FrameType::Data;
+  b.stream_id = 1;
+  b.payload = util::to_bytes("x");
+  util::Bytes wire = a.encode();
+  const util::Bytes bw = b.encode();
+  wire.insert(wire.end(), bw.begin(), bw.end());
+  auto frames = decode_frames(wire);
+  ASSERT_TRUE(frames.has_value());
+  EXPECT_EQ(frames.value().size(), 2u);
+}
+
+TEST(H2, DecodeRejectsTruncatedFrame) {
+  Frame f;
+  f.type = FrameType::Data;
+  f.payload = util::to_bytes("hello");
+  util::Bytes wire = f.encode();
+  wire.pop_back();
+  EXPECT_FALSE(decode_frames(wire).has_value());
+}
+
+TEST(H2, ClientServerExchange) {
+  H2ClientSession client;
+  H2ServerSession server;
+
+  Request req;
+  req.method = "POST";
+  req.path = "/dns-query";
+  req.authority = "dns.example";
+  req.body = util::to_bytes("query-bytes");
+
+  std::uint32_t sid = 0;
+  const util::Bytes request_wire = client.serialize_request(req, sid);
+  EXPECT_EQ(sid, 1u);
+
+  std::optional<Request> server_got;
+  std::uint32_t server_sid = 0;
+  server.feed(request_wire, [&](std::uint32_t s, Result<Request> r) {
+    ASSERT_TRUE(r.has_value()) << r.error();
+    server_sid = s;
+    server_got = std::move(r).value();
+  });
+  ASSERT_TRUE(server_got.has_value());
+  EXPECT_EQ(server_got->method, "POST");
+  EXPECT_EQ(server_got->body, util::to_bytes("query-bytes"));
+
+  Response resp;
+  resp.status = 200;
+  resp.body = util::to_bytes("answer-bytes");
+  const util::Bytes response_wire = server.serialize_response(server_sid, resp);
+
+  std::optional<Response> client_got;
+  client.feed(response_wire, [&](std::uint32_t s, Result<Response> r) {
+    EXPECT_EQ(s, sid);
+    ASSERT_TRUE(r.has_value());
+    client_got = std::move(r).value();
+  });
+  ASSERT_TRUE(client_got.has_value());
+  EXPECT_EQ(client_got->status, 200);
+  EXPECT_EQ(client_got->body, util::to_bytes("answer-bytes"));
+}
+
+TEST(H2, StreamIdsAdvanceByTwo) {
+  H2ClientSession client;
+  Request req;
+  req.method = "GET";
+  req.path = "/a";
+  std::uint32_t s1 = 0, s2 = 0, s3 = 0;
+  (void)client.serialize_request(req, s1);
+  (void)client.serialize_request(req, s2);
+  (void)client.serialize_request(req, s3);
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(s2, 3u);
+  EXPECT_EQ(s3, 5u);
+}
+
+TEST(H2, PrefaceOnlyOnFirstRequest) {
+  H2ClientSession client;
+  Request req;
+  req.method = "GET";
+  req.path = "/";
+  std::uint32_t sid = 0;
+  const util::Bytes first = client.serialize_request(req, sid);
+  const util::Bytes second = client.serialize_request(req, sid);
+  const auto preface = client_preface();
+  ASSERT_GE(first.size(), preface.size());
+  EXPECT_TRUE(std::equal(preface.begin(), preface.end(), first.begin()));
+  EXPECT_FALSE(second.size() >= preface.size() &&
+               std::equal(preface.begin(), preface.end(), second.begin()));
+}
+
+TEST(H2, ServerRejectsMissingPreface) {
+  H2ServerSession server;
+  Frame f;
+  f.type = FrameType::Settings;
+  bool error = false;
+  server.feed(f.encode(), [&](std::uint32_t, Result<Request> r) {
+    if (!r.has_value()) error = true;
+  });
+  EXPECT_TRUE(error);
+}
+
+TEST(H2, RstStreamFailsPendingResponse) {
+  H2ClientSession client;
+  Request req;
+  req.method = "GET";
+  req.path = "/";
+  std::uint32_t sid = 0;
+  (void)client.serialize_request(req, sid);
+
+  Frame rst;
+  rst.type = FrameType::RstStream;
+  rst.stream_id = sid;
+  bool failed = false;
+  client.feed(rst.encode(), [&](std::uint32_t s, Result<Response> r) {
+    EXPECT_EQ(s, sid);
+    EXPECT_FALSE(r.has_value());
+    failed = true;
+  });
+  EXPECT_TRUE(failed);
+}
+
+// ---- DoH media ------------------------------------------------------------------
+
+dns::Message sample_query() {
+  return dns::make_query(7, dns::Name::parse("example.com").value(), dns::RecordType::A);
+}
+
+TEST(DohMedia, GetPathEncodesBase64Url) {
+  const util::Bytes msg = sample_query().encode();
+  const std::string path = doh_get_path("/dns-query", msg);
+  EXPECT_TRUE(path.starts_with("/dns-query?dns="));
+  EXPECT_EQ(path.find('='), path.find("?dns=") + 4);  // no padding chars after
+}
+
+TEST(DohMedia, PostRequestRoundTrip) {
+  const util::Bytes msg = sample_query().encode();
+  const Request req = make_doh_request("dns.example", "/dns-query", msg, /*post=*/true);
+  auto extracted = extract_dns_message(req);
+  ASSERT_TRUE(extracted.has_value()) << extracted.error();
+  EXPECT_EQ(extracted.value(), msg);
+}
+
+TEST(DohMedia, GetRequestRoundTrip) {
+  const util::Bytes msg = sample_query().encode();
+  const Request req = make_doh_request("dns.example", "/dns-query", msg, /*post=*/false);
+  auto extracted = extract_dns_message(req);
+  ASSERT_TRUE(extracted.has_value()) << extracted.error();
+  EXPECT_EQ(extracted.value(), msg);
+}
+
+TEST(DohMedia, PostRequiresMediaType) {
+  Request req;
+  req.method = "POST";
+  req.path = "/dns-query";
+  req.body = util::to_bytes("x");
+  EXPECT_FALSE(extract_dns_message(req).has_value());
+}
+
+TEST(DohMedia, GetRequiresDnsParam) {
+  Request req;
+  req.method = "GET";
+  req.path = "/dns-query?other=1";
+  EXPECT_FALSE(extract_dns_message(req).has_value());
+  req.path = "/dns-query";
+  EXPECT_FALSE(extract_dns_message(req).has_value());
+}
+
+TEST(DohMedia, UnsupportedMethodRejected) {
+  Request req;
+  req.method = "PUT";
+  req.path = "/dns-query";
+  EXPECT_FALSE(extract_dns_message(req).has_value());
+}
+
+TEST(DohMedia, ResponseCarriesCacheControl) {
+  const Response resp = make_doh_response(util::to_bytes("wire"), 299);
+  const std::string* cc = find_header(resp.headers, "cache-control");
+  ASSERT_NE(cc, nullptr);
+  EXPECT_EQ(*cc, "max-age=299");
+  const std::string* ct = find_header(resp.headers, "content-type");
+  ASSERT_NE(ct, nullptr);
+  EXPECT_EQ(*ct, kDnsMessageMediaType);
+}
+
+}  // namespace
+}  // namespace ednsm::http

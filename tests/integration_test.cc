@@ -1,0 +1,190 @@
+// End-to-end shape assertions: the simulated world must reproduce the
+// paper's qualitative findings. These are the claims from §4 that DESIGN.md
+// commits to, each run on a reduced-size campaign to keep test time sane.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/campaign.h"
+#include "report/figures.h"
+#include "resolver/registry.h"
+#include "stats/quantile.h"
+
+namespace ednsm {
+namespace {
+
+using core::CampaignResult;
+using core::CampaignRunner;
+using core::MeasurementSpec;
+using core::SimWorld;
+
+// One shared campaign over a representative resolver subset from all vantage
+// classes. Built once; the assertions below slice it.
+const CampaignResult& shared_campaign() {
+  static const CampaignResult kResult = [] {
+    SimWorld world(20250704);
+    MeasurementSpec spec;
+    spec.resolvers = {
+        // mainstream
+        "dns.google", "security.cloudflare-dns.com", "dns.quad9.net", "dns9.quad9.net",
+        "dns.nextdns.io",
+        // NA non-mainstream
+        "ordns.he.net", "freedns.controld.com", "kronos.plan9-dns.com",
+        "doh.la.ahadns.net", "odoh-target.alekberg.net",
+        // EU
+        "doh.ffmuc.net", "dns0.eu", "dns.brahma.world", "dns.njal.la",
+        // Asia
+        "dns.alidns.com", "dns.twnic.tw", "antivirus.bebasid.com", "public.dns.iij.jp",
+    };
+    spec.vantage_ids = {"ec2-ohio", "ec2-frankfurt", "ec2-seoul", "home-chicago-1"};
+    spec.rounds = 20;
+    spec.seed = 20250704;
+    return CampaignRunner(world, spec).run();
+  }();
+  return kResult;
+}
+
+double med(const std::string& vantage, const std::string& resolver) {
+  return stats::median(shared_campaign().response_times(vantage, resolver));
+}
+
+double ping_med(const std::string& vantage, const std::string& resolver) {
+  return stats::median(shared_campaign().ping_times(vantage, resolver));
+}
+
+// "Most mainstream resolvers outperformed non-mainstream resolvers from most
+// vantage points."
+TEST(PaperShape, MainstreamBeatsRemoteNonMainstream) {
+  // From Ohio, mainstream anycast beats EU/Asia unicast resolvers by a lot.
+  const double mainstream = med("ec2-ohio", "dns.google");
+  EXPECT_LT(mainstream * 3, med("ec2-ohio", "doh.ffmuc.net"));
+  EXPECT_LT(mainstream * 3, med("ec2-ohio", "dns.twnic.tw"));
+  // From Seoul, EU unicast resolvers are even slower.
+  EXPECT_LT(med("ec2-seoul", "dns.google") * 4, med("ec2-seoul", "doh.ffmuc.net"));
+}
+
+// "Non-mainstream resolvers queried from more distant vantage points have
+// higher response times — most are not replicated or anycast."
+TEST(PaperShape, UnicastDegradesWithDistanceAnycastDoesNot) {
+  // doh.ffmuc.net (Munich, unicast): Frankfurt fast, Seoul slow.
+  EXPECT_LT(med("ec2-frankfurt", "doh.ffmuc.net") * 3, med("ec2-seoul", "doh.ffmuc.net"));
+  // dns.google (anycast): good absolute latency from every vantage — the
+  // nearest-PoP distance varies (Columbus->Chicago vs Frankfurt->Frankfurt),
+  // so the meaningful claim is an absolute bound, not a ratio.
+  for (const char* vantage : {"ec2-ohio", "ec2-seoul", "ec2-frankfurt"}) {
+    EXPECT_LT(med(vantage, "dns.google"), 60.0) << vantage;
+  }
+}
+
+// §4's named local winners.
+TEST(PaperShape, OrdnsHeNetWinsFromHomeDevices) {
+  const double he = med("home-chicago-1", "ordns.he.net");
+  for (const char* mainstream :
+       {"dns.google", "security.cloudflare-dns.com", "dns.quad9.net", "dns9.quad9.net",
+        "dns.nextdns.io"}) {
+    EXPECT_LT(he, med("home-chicago-1", mainstream)) << mainstream;
+  }
+}
+
+TEST(PaperShape, ControlDWinsFromOhio) {
+  EXPECT_LT(med("ec2-ohio", "freedns.controld.com"), med("ec2-ohio", "dns.google"));
+  EXPECT_LT(med("ec2-ohio", "freedns.controld.com"),
+            med("ec2-ohio", "security.cloudflare-dns.com"));
+}
+
+TEST(PaperShape, BrahmaWinsFromFrankfurtOverCloudflare) {
+  EXPECT_LT(med("ec2-frankfurt", "dns.brahma.world"),
+            med("ec2-frankfurt", "security.cloudflare-dns.com"));
+}
+
+TEST(PaperShape, AlidnsWinsFromSeoul) {
+  const double ali = med("ec2-seoul", "dns.alidns.com");
+  EXPECT_LT(ali, med("ec2-seoul", "dns.quad9.net"));
+  EXPECT_LT(ali, med("ec2-seoul", "dns.google"));
+  EXPECT_LT(ali, med("ec2-seoul", "security.cloudflare-dns.com"));
+}
+
+// "Ping time is well below DNS response time" (handshake round trips).
+TEST(PaperShape, ResponseTimeExceedsPing) {
+  for (const char* host : {"dns.google", "ordns.he.net", "doh.ffmuc.net"}) {
+    const double p = ping_med("ec2-ohio", host);
+    const double r = med("ec2-ohio", host);
+    ASSERT_FALSE(std::isnan(p)) << host;
+    EXPECT_GT(r, 2.0 * p) << host;  // >= 3 RTT vs 1 RTT
+  }
+}
+
+// ODoH targets: response times far beyond their ping (relay hop on the DNS
+// path only) — visible in Figure 1's odoh-target rows.
+TEST(PaperShape, OdohTargetsShowRelayPenalty) {
+  const double p = ping_med("ec2-ohio", "odoh-target.alekberg.net");
+  const double r = med("ec2-ohio", "odoh-target.alekberg.net");
+  ASSERT_FALSE(std::isnan(p));
+  EXPECT_GT(r, 3.0 * p + 20.0);
+}
+
+// dns.twnic.tw: slow from home, fine from EC2 (§4).
+TEST(PaperShape, TwnicHomeQuirk) {
+  const double home_ping = ping_med("home-chicago-1", "dns.twnic.tw");
+  const double ohio_ping = ping_med("ec2-ohio", "dns.twnic.tw");
+  EXPECT_GT(home_ping, ohio_ping + 50.0);
+}
+
+// antivirus.bebasid.com: high variability from Ohio/Frankfurt EC2, low from
+// home (§4). Compare IQRs.
+TEST(PaperShape, BebasidEc2Variability) {
+  const auto iqr = [&](const char* vantage) {
+    return stats::box_summary(
+               shared_campaign().response_times(vantage, "antivirus.bebasid.com"))
+        .iqr();
+  };
+  EXPECT_GT(iqr("ec2-ohio") + iqr("ec2-frankfurt"), 1.5 * iqr("home-chicago-1"));
+}
+
+// Availability: errors exist, successes dominate, and connection failures
+// are the dominant error class (§4).
+TEST(PaperShape, AvailabilityShape) {
+  const auto& overall = shared_campaign().availability.overall();
+  EXPECT_GT(overall.successes, overall.errors * 5);
+  EXPECT_GT(overall.errors, 0u);
+  const std::string dominant = shared_campaign().availability.dominant_error_class();
+  EXPECT_TRUE(dominant == "connect-timeout" || dominant == "connect-refused")
+      << dominant;
+}
+
+// Home vantage shows more jitter than EC2 for the same nearby resolver.
+TEST(PaperShape, HomeAccessAddsLatency) {
+  EXPECT_GT(med("home-chicago-1", "dns.google"), med("ec2-ohio", "dns.google"));
+}
+
+// Tables 2/3 shape: Asia resolvers near from Seoul / far from Frankfurt and
+// vice versa for EU resolvers.
+TEST(PaperShape, RemoteVantageGapTables) {
+  EXPECT_LT(med("ec2-seoul", "dns.twnic.tw"), med("ec2-frankfurt", "dns.twnic.tw"));
+  EXPECT_LT(med("ec2-frankfurt", "dns0.eu"), med("ec2-seoul", "dns0.eu"));
+  EXPECT_LT(med("ec2-frankfurt", "dns.njal.la"), med("ec2-seoul", "dns.njal.la"));
+  EXPECT_LT(med("ec2-seoul", "public.dns.iij.jp"), med("ec2-frankfurt", "public.dns.iij.jp"));
+}
+
+// The full-registry world builds and every resolver is reachable from Ohio.
+TEST(Integration, EveryRegistryResolverAnswersFromOhio) {
+  SimWorld world(99);
+  MeasurementSpec spec;
+  for (const auto& s : resolver::paper_resolver_list()) spec.resolvers.push_back(s.hostname);
+  spec.vantage_ids = {"ec2-ohio"};
+  spec.rounds = 2;
+  spec.domains = {"google.com"};
+  spec.seed = 99;
+  const CampaignResult result = CampaignRunner(world, spec).run();
+  EXPECT_EQ(result.records.size(), resolver::paper_resolver_list().size() * 2);
+  // No resolver may be entirely unresponsive over two rounds... except by
+  // (unlikely) failure-injection coincidence; allow a tiny number.
+  int unresponsive = 0;
+  for (const auto& s : resolver::paper_resolver_list()) {
+    if (result.availability.unresponsive_from("ec2-ohio", s.hostname)) ++unresponsive;
+  }
+  EXPECT_LE(unresponsive, 2);
+}
+
+}  // namespace
+}  // namespace ednsm

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/campaign.h"
+#include "report/boxplot.h"
+#include "report/figures.h"
+#include "report/table.h"
+
+namespace ednsm::report {
+namespace {
+
+// ---- table ----------------------------------------------------------------------
+
+TEST(Table, TextAlignment) {
+  Table t({"Name", "Value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("Name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  // Separator row of dashes present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"A", "B"});
+  t.add_row({"x", "y"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| A | B |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+}
+
+TEST(Table, TsvShape) {
+  Table t({"A", "B"});
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.to_tsv(), "A\tB\nx\ty\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RowAccess) {
+  Table t({"A"});
+  t.add_row({"v"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 1u);
+  EXPECT_EQ(t.row(0)[0], "v");
+}
+
+TEST(Fmt, FormatsAndHandlesNaN) {
+  EXPECT_EQ(fmt(12.345, 1), "12.3");
+  EXPECT_EQ(fmt(12.345, 0), "12");
+  EXPECT_EQ(fmt(std::nan(""), 1), "-");
+}
+
+// ---- boxplot --------------------------------------------------------------------
+
+TEST(BoxPlot, LineMarksLandmarks) {
+  stats::BoxSummary s = stats::box_summary({100, 150, 200, 250, 300});
+  const std::string line = render_box_line(s, 600.0, 60, '=');
+  EXPECT_EQ(line.size(), 60u);
+  EXPECT_NE(line.find('M'), std::string::npos);
+  EXPECT_NE(line.find('['), std::string::npos);
+  EXPECT_NE(line.find(']'), std::string::npos);
+  // Median column proportional to 200/600 of the width.
+  const auto m_at = line.find('M');
+  EXPECT_NEAR(static_cast<double>(m_at), 200.0 / 600.0 * 59.0, 2.0);
+}
+
+TEST(BoxPlot, EmptySummaryRendersBlank) {
+  const std::string line = render_box_line({}, 600.0, 40, '=');
+  EXPECT_EQ(line, std::string(40, ' '));
+}
+
+TEST(BoxPlot, TruncatesBeyondMax) {
+  stats::BoxSummary s = stats::box_summary({100, 200, 5000});
+  const std::string line = render_box_line(s, 600.0, 40, '=');
+  EXPECT_EQ(line.size(), 40u);  // nothing drawn out of bounds
+}
+
+TEST(BoxPlot, FullRenderIncludesLabelsAndLegend) {
+  BoxRow row;
+  row.label = "dns.example";
+  row.bold = true;
+  row.response = stats::box_summary({20, 30, 40});
+  row.ping = stats::box_summary({5, 6, 7});
+  const std::string out = render_boxplots({row});
+  EXPECT_NE(out.find("*dns.example*"), std::string::npos);
+  EXPECT_NE(out.find("med=30.0 ms"), std::string::npos);
+  EXPECT_NE(out.find("ping=6.0 ms"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+}
+
+TEST(BoxPlot, PinglessRowOmitsPingLine) {
+  BoxRow row;
+  row.label = "no-ping.example";
+  row.response = stats::box_summary({20, 30, 40});
+  const std::string out = render_boxplots({row});
+  EXPECT_EQ(out.find("ping="), std::string::npos);
+}
+
+// ---- figures over a real (small) campaign -----------------------------------------
+
+class FigureTest : public ::testing::Test {
+ protected:
+  static const core::CampaignResult& result() {
+    static const core::CampaignResult kResult = [] {
+      core::SimWorld world(31);
+      core::MeasurementSpec spec;
+      spec.resolvers = {"dns.google", "security.cloudflare-dns.com", "dns.quad9.net",
+                        "ordns.he.net", "freedns.controld.com", "doh.ffmuc.net",
+                        "dns.brahma.world", "dns.alidns.com", "dns.twnic.tw"};
+      spec.vantage_ids = {"ec2-ohio", "ec2-frankfurt", "ec2-seoul"};
+      spec.rounds = 12;
+      spec.seed = 31;
+      return core::CampaignRunner(world, spec).run();
+    }();
+    return kResult;
+  }
+};
+
+TEST_F(FigureTest, FigureRowsSortedByMedian) {
+  const auto rows = figure_rows(result(), "ec2-ohio", geo::Continent::NorthAmerica);
+  ASSERT_GT(rows.size(), 3u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i - 1].response.count == 0 || rows[i].response.count == 0) continue;
+    EXPECT_LE(rows[i - 1].response.median, rows[i].response.median);
+  }
+}
+
+TEST_F(FigureTest, FigureIncludesMainstreamBolded) {
+  const auto rows = figure_rows(result(), "ec2-frankfurt", geo::Continent::Europe);
+  bool any_bold = false;
+  for (const BoxRow& r : rows) any_bold |= r.bold;
+  EXPECT_TRUE(any_bold);
+}
+
+TEST_F(FigureTest, RenderFigureContainsTitleAndRows) {
+  const std::string fig = render_figure(result(), "ec2-ohio",
+                                        geo::Continent::NorthAmerica, "Figure 1");
+  EXPECT_NE(fig.find("Figure 1"), std::string::npos);
+  EXPECT_NE(fig.find("dns.google"), std::string::npos);
+  EXPECT_NE(fig.find("ordns.he.net"), std::string::npos);
+}
+
+TEST_F(FigureTest, RemoteMedianTableShape) {
+  const Table t = remote_median_table(result(), geo::Continent::Asia, "ec2-seoul",
+                                      "ec2-frankfurt", 5);
+  EXPECT_LE(t.rows(), 5u);
+  ASSERT_GE(t.rows(), 1u);
+  // Asia resolvers must be slower from Frankfurt than from Seoul.
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    const double near_ms = std::stod(t.row(i)[1]);
+    const double far_ms = std::stod(t.row(i)[2]);
+    EXPECT_LT(near_ms, far_ms) << t.row(i)[0];
+  }
+}
+
+TEST_F(FigureTest, AvailabilityReportMentionsTotals) {
+  const std::string report = availability_report(result());
+  EXPECT_NE(report.find("successful responses:"), std::string::npos);
+  EXPECT_NE(report.find("error rate:"), std::string::npos);
+}
+
+TEST_F(FigureTest, MaxMedianTableHasAllVantages) {
+  const Table t = max_median_table(result());
+  EXPECT_EQ(t.rows(), 3u);
+}
+
+TEST_F(FigureTest, NonmainstreamWinnersFromSeoulIncludesAlidns) {
+  const auto winners = nonmainstream_winners(result(), "ec2-seoul");
+  EXPECT_NE(std::find(winners.begin(), winners.end(), "dns.alidns.com"), winners.end());
+}
+
+TEST(BrowserMatrix, MatchesTable1) {
+  const Table t = browser_matrix();
+  EXPECT_EQ(t.rows(), 5u);       // five browsers
+  EXPECT_EQ(t.columns(), 7u);    // name + six providers
+  // Edge row: all six checked.
+  int edge_checks = 0;
+  for (std::size_t c = 1; c < 7; ++c) {
+    if (t.row(2)[c] == "v") ++edge_checks;
+  }
+  EXPECT_EQ(edge_checks, 6);
+  // Firefox row: exactly two.
+  int firefox_checks = 0;
+  for (std::size_t c = 1; c < 7; ++c) {
+    if (t.row(1)[c] == "v") ++firefox_checks;
+  }
+  EXPECT_EQ(firefox_checks, 2);
+}
+
+}  // namespace
+}  // namespace ednsm::report

@@ -1,0 +1,150 @@
+// ednsm-measure: the command-line measurement tool (the shape of the paper's
+// released artifact — "clients provide a list of DoH resolvers they wish to
+// perform measurements with ... the tool writes the results to a JSON file").
+//
+// Usage:
+//   ednsm_measure --spec spec.json [--out results.json]
+//   ednsm_measure --resolvers dns.google,ordns.he.net --vantages ec2-ohio
+//                 [--rounds 10] [--protocol DoH|DoT|Do53|DoQ] [--seed 1]
+//                 [--reuse none|keepalive|ticket-resumption]
+//                 [--domains google.com,amazon.com] [--out results.json]
+//   ednsm_measure --all-resolvers --vantages ec2-ohio,ec2-seoul
+//
+// Exit codes: 0 ok, 1 bad usage, 2 invalid spec, 3 I/O error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/campaign.h"
+#include "report/figures.h"
+#include "resolver/registry.h"
+#include "util/strings.h"
+
+using namespace ednsm;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> options;
+  bool all_resolvers = false;
+
+  [[nodiscard]] const std::string* get(const std::string& key) const {
+    const auto it = options.find(key);
+    return it == options.end() ? nullptr : &it->second;
+  }
+};
+
+Result<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--all-resolvers") {
+      args.all_resolvers = true;
+      continue;
+    }
+    if (!arg.starts_with("--")) return Err{std::string("unexpected argument: ") + argv[i]};
+    if (i + 1 >= argc) return Err{std::string(arg) + " requires a value"};
+    args.options[std::string(arg.substr(2))] = argv[++i];
+  }
+  return args;
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  for (std::string_view part : util::split(csv, ',')) {
+    if (!part.empty()) out.emplace_back(part);
+  }
+  return out;
+}
+
+Result<core::MeasurementSpec> build_spec(const Args& args) {
+  if (const std::string* spec_path = args.get("spec")) {
+    std::ifstream in(*spec_path);
+    if (!in) return Err{std::string("cannot open spec file: ") + *spec_path};
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto json = core::Json::parse(buffer.str());
+    if (!json) return Err{"spec file is not valid JSON: " + json.error()};
+    return core::MeasurementSpec::from_json(json.value());
+  }
+
+  core::MeasurementSpec spec;
+  if (args.all_resolvers) {
+    for (const auto& s : resolver::paper_resolver_list()) spec.resolvers.push_back(s.hostname);
+  } else if (const std::string* resolvers = args.get("resolvers")) {
+    spec.resolvers = split_list(*resolvers);
+  }
+  if (const std::string* vantages = args.get("vantages")) {
+    spec.vantage_ids = split_list(*vantages);
+  }
+  if (const std::string* domains = args.get("domains")) {
+    spec.domains = split_list(*domains);
+  }
+  if (const std::string* rounds = args.get("rounds")) {
+    spec.rounds = std::atoi(rounds->c_str());
+  }
+  if (const std::string* seed = args.get("seed")) {
+    spec.seed = std::strtoull(seed->c_str(), nullptr, 10);
+  }
+  if (const std::string* protocol = args.get("protocol")) {
+    if (*protocol == "Do53") spec.protocol = client::Protocol::Do53;
+    else if (*protocol == "DoT") spec.protocol = client::Protocol::DoT;
+    else if (*protocol == "DoH") spec.protocol = client::Protocol::DoH;
+    else if (*protocol == "DoQ") spec.protocol = client::Protocol::DoQ;
+    else return Err{std::string("unknown protocol: ") + *protocol};
+  }
+  if (const std::string* reuse = args.get("reuse")) {
+    if (*reuse == "none") spec.query_options.reuse = transport::ReusePolicy::None;
+    else if (*reuse == "keepalive") {
+      spec.query_options.reuse = transport::ReusePolicy::Keepalive;
+    } else if (*reuse == "ticket-resumption") {
+      spec.query_options.reuse = transport::ReusePolicy::TicketResumption;
+    } else {
+      return Err{std::string("unknown reuse policy: ") + *reuse};
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = parse_args(argc, argv);
+  if (!args) {
+    std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    return 1;
+  }
+  auto spec = build_spec(args.value());
+  if (!spec) {
+    std::fprintf(stderr, "error: %s\n", spec.error().c_str());
+    return 2;
+  }
+  if (auto valid = spec.value().validate(); !valid) {
+    std::fprintf(stderr, "invalid spec: %s\n", valid.error().c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr, "measuring %zu resolvers x %zu vantages x %d rounds over %s...\n",
+               spec.value().resolvers.size(), spec.value().vantage_ids.size(),
+               spec.value().rounds,
+               std::string(client::to_string(spec.value().protocol)).c_str());
+
+  core::SimWorld world(spec.value().seed);
+  core::CampaignRunner runner(world, spec.value());
+  const core::CampaignResult result = runner.run();
+
+  const std::string* out_path = args.value().get("out");
+  const std::string path = out_path != nullptr ? *out_path : "results.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 3;
+  }
+  result.write_json(out);
+
+  std::fprintf(stderr, "%zu query records, %zu pings; %.2f%% error rate -> %s\n",
+               result.records.size(), result.pings.size(),
+               result.availability.overall().error_rate() * 100.0, path.c_str());
+  return 0;
+}
