@@ -5,6 +5,7 @@
 // make large campaigns slow.
 #include <benchmark/benchmark.h>
 
+#include "core/campaign.h"
 #include "core/json.h"
 #include "dns/base64url.h"
 #include "dns/message.h"
@@ -185,6 +186,46 @@ void BM_PathSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PathSample);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  // Schedule-then-drain with a sprinkle of cancellations: the simulator's
+  // innermost loop (heap push/pop + callback dispatch, no allocation for
+  // small captures).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  netsim::Rng rng(42);
+  for (auto _ : state) {
+    netsim::EventQueue q;
+    std::uint64_t sink = 0;
+    netsim::EventQueue::EventId last = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      last = q.schedule(netsim::SimDuration(rng.uniform_u64(1'000'000)), [&sink] { ++sink; });
+      if ((i & 7u) == 7u) (void)q.cancel(last);
+    }
+    benchmark::DoNotOptimize(q.run_until_idle());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_CampaignRound(benchmark::State& state) {
+  // One measurement round over the full Appendix A.2 registry from one EC2
+  // vantage: the unit of work the paper benches repeat thousands of times.
+  core::MeasurementSpec spec;
+  for (const auto& s : resolver::paper_resolver_list()) spec.resolvers.push_back(s.hostname);
+  spec.vantage_ids = {"ec2-ohio"};
+  spec.rounds = 1;
+  spec.seed = 7;
+  for (auto _ : state) {
+    core::SimWorld world(spec.seed);
+    core::CampaignResult result = core::CampaignRunner(world, spec).run();
+    benchmark::DoNotOptimize(result.records.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spec.resolvers.size()));
+}
+BENCHMARK(BM_CampaignRound);
 
 void BM_NameCompressionEncode(benchmark::State& state) {
   const dns::Name names[] = {

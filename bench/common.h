@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/campaign.h"
+#include "core/parallel_campaign.h"
 #include "report/figures.h"
 #include "resolver/registry.h"
 
@@ -18,10 +19,16 @@ namespace ednsm::bench {
 inline constexpr std::uint64_t kDefaultSeed = 20250704;
 
 // Campaign over every registry resolver from the given vantages.
+//
+// threads == 0 (the default) runs the legacy single-world engine, preserving
+// the exact record streams of earlier releases. threads >= 1 runs the
+// shard-per-vantage engine of core/parallel_campaign.h on that many workers;
+// its output is identical for every threads value, but is a different (also
+// deterministic) decomposition than the legacy engine's.
 inline core::CampaignResult run_paper_campaign(const std::vector<std::string>& vantage_ids,
                                                int rounds,
-                                               std::uint64_t seed = kDefaultSeed) {
-  core::SimWorld world(seed);
+                                               std::uint64_t seed = kDefaultSeed,
+                                               int threads = 0) {
   core::MeasurementSpec spec;
   for (const auto& s : resolver::paper_resolver_list()) spec.resolvers.push_back(s.hostname);
   spec.vantage_ids = vantage_ids;
@@ -29,17 +36,24 @@ inline core::CampaignResult run_paper_campaign(const std::vector<std::string>& v
   spec.seed = seed;
 
   const auto wall_start = std::chrono::steady_clock::now();
-  core::CampaignRunner runner(world, spec);
-  core::CampaignResult result = runner.run();
+  core::CampaignResult result;
+  if (threads <= 0) {
+    core::SimWorld world(seed);
+    result = core::CampaignRunner(world, spec).run();
+  } else {
+    result = core::run_parallel_campaign(spec, threads);
+  }
   const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                            std::chrono::steady_clock::now() - wall_start)
                            .count();
+  // One expression in day units; the old form truncated microseconds->seconds
+  // before multiplying, collapsing sub-second intervals to zero days.
+  const double simulated_days =
+      std::chrono::duration<double, std::ratio<86400>>(spec.round_interval * rounds).count();
   std::printf("# campaign: %zu resolvers x %zu vantages x %d rounds -> %zu queries, "
-              "%zu pings (simulated %d days; wall %lld ms)\n\n",
+              "%zu pings (simulated %.1f days; wall %lld ms)\n\n",
               spec.resolvers.size(), vantage_ids.size(), rounds, result.records.size(),
-              result.pings.size(),
-              static_cast<int>(spec.round_interval.count() / 1000000 * rounds / 86400),
-              static_cast<long long>(wall_ms));
+              result.pings.size(), simulated_days, static_cast<long long>(wall_ms));
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "core/availability.h"
 
+#include <algorithm>
+
 namespace ednsm::core {
 
 namespace {
@@ -15,18 +17,25 @@ void bump(AvailabilityCounts& c, const ResultRecord& r) {
 
 void AvailabilityLedger::record(const ResultRecord& r) {
   bump(overall_, r);
-  bump(by_resolver_[r.resolver], r);
-  bump(by_pair_[{r.vantage, r.resolver}], r);
+  const InternTable::Symbol host = hostnames_.intern(r.resolver);
+  const InternTable::Symbol vantage = vantages_.intern(r.vantage);
+  bump(by_resolver_[host], r);
+  bump(by_pair_[InternTable::pair_key(vantage, host)], r);
 }
 
 AvailabilityCounts AvailabilityLedger::per_resolver(const std::string& hostname) const {
-  const auto it = by_resolver_.find(hostname);
+  const auto sym = hostnames_.find(hostname);
+  if (!sym.has_value()) return {};
+  const auto it = by_resolver_.find(*sym);
   return it == by_resolver_.end() ? AvailabilityCounts{} : it->second;
 }
 
 AvailabilityCounts AvailabilityLedger::per_pair(const std::string& vantage,
                                                 const std::string& hostname) const {
-  const auto it = by_pair_.find({vantage, hostname});
+  const auto v = vantages_.find(vantage);
+  const auto h = hostnames_.find(hostname);
+  if (!v.has_value() || !h.has_value()) return {};
+  const auto it = by_pair_.find(InternTable::pair_key(*v, *h));
   return it == by_pair_.end() ? AvailabilityCounts{} : it->second;
 }
 
@@ -39,7 +48,8 @@ bool AvailabilityLedger::unresponsive_from(const std::string& vantage,
 std::vector<std::string> AvailabilityLedger::resolvers() const {
   std::vector<std::string> out;
   out.reserve(by_resolver_.size());
-  for (const auto& [host, counts] : by_resolver_) out.push_back(host);
+  for (const auto& [sym, counts] : by_resolver_) out.push_back(hostnames_.name(sym));
+  std::sort(out.begin(), out.end());
   return out;
 }
 

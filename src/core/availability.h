@@ -4,13 +4,20 @@
 // connection", and the per-vantage unresponsiveness definition: "a resolver
 // is unresponsive from a given vantage point if we fail to receive any
 // response to the queries issued from a particular server."
+//
+// record() sits on the campaign accumulation hot path (once per query
+// record), so counters are keyed by interned symbols rather than strings:
+// one hash of a packed u64 instead of pair<string,string> key construction
+// and byte-wise compares per record.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/intern.h"
 #include "core/spec.h"
 
 namespace ednsm::core {
@@ -39,16 +46,18 @@ class AvailabilityLedger {
   [[nodiscard]] bool unresponsive_from(const std::string& vantage,
                                        const std::string& hostname) const;
 
-  // Hostnames with at least one recorded query.
+  // Hostnames with at least one recorded query, sorted.
   [[nodiscard]] std::vector<std::string> resolvers() const;
 
   // Most common error class overall ("" when there are no errors).
   [[nodiscard]] std::string dominant_error_class() const;
 
  private:
+  InternTable vantages_;
+  InternTable hostnames_;
   AvailabilityCounts overall_;
-  std::map<std::string, AvailabilityCounts> by_resolver_;
-  std::map<std::pair<std::string, std::string>, AvailabilityCounts> by_pair_;
+  std::unordered_map<InternTable::Symbol, AvailabilityCounts> by_resolver_;
+  std::unordered_map<std::uint64_t, AvailabilityCounts> by_pair_;
 };
 
 }  // namespace ednsm::core

@@ -5,22 +5,67 @@
 
 namespace ednsm::core {
 
+PairSampleIndex PairSampleIndex::build(const std::vector<ResultRecord>& records,
+                                       const std::vector<PingRecord>& pings) {
+  PairSampleIndex idx;
+  for (const ResultRecord& r : records) {
+    if (!r.ok) continue;
+    const auto key =
+        InternTable::pair_key(idx.vantages_.intern(r.vantage), idx.resolvers_.intern(r.resolver));
+    idx.responses_[key].push_back(r.response_ms);
+  }
+  for (const PingRecord& p : pings) {
+    if (!p.ok) continue;
+    const auto key =
+        InternTable::pair_key(idx.vantages_.intern(p.vantage), idx.resolvers_.intern(p.resolver));
+    idx.pings_[key].push_back(p.rtt_ms);
+  }
+  idx.records_indexed_ = records.size();
+  idx.pings_indexed_ = pings.size();
+  return idx;
+}
+
+namespace {
+const std::vector<double>* lookup_pair(
+    const InternTable& vantages, const InternTable& resolvers,
+    const std::unordered_map<std::uint64_t, std::vector<double>>& samples,
+    std::string_view vantage, std::string_view resolver) {
+  const auto v = vantages.find(vantage);
+  const auto r = resolvers.find(resolver);
+  if (!v.has_value() || !r.has_value()) return nullptr;
+  const auto it = samples.find(InternTable::pair_key(*v, *r));
+  return it == samples.end() ? nullptr : &it->second;
+}
+}  // namespace
+
+const std::vector<double>* PairSampleIndex::response_times(std::string_view vantage,
+                                                           std::string_view resolver) const {
+  return lookup_pair(vantages_, resolvers_, responses_, vantage, resolver);
+}
+
+const std::vector<double>* PairSampleIndex::ping_times(std::string_view vantage,
+                                                       std::string_view resolver) const {
+  return lookup_pair(vantages_, resolvers_, pings_, vantage, resolver);
+}
+
+const PairSampleIndex& CampaignResult::index() const {
+  if (sample_index_ == nullptr || sample_index_->records_indexed() != records.size() ||
+      sample_index_->pings_indexed() != pings.size()) {
+    sample_index_ = std::make_shared<const PairSampleIndex>(PairSampleIndex::build(records, pings));
+  }
+  return *sample_index_;
+}
+
 std::vector<double> CampaignResult::response_times(const std::string& vantage,
                                                    const std::string& resolver) const {
-  std::vector<double> out;
-  for (const ResultRecord& r : records) {
-    if (r.ok && r.vantage == vantage && r.resolver == resolver) out.push_back(r.response_ms);
-  }
-  return out;
+  const std::vector<double>* samples = index().response_times(vantage, resolver);
+  return samples == nullptr ? std::vector<double>{} : *samples;
 }
 
 std::vector<double> CampaignResult::ping_times(const std::string& vantage,
                                                const std::string& resolver) const {
-  std::vector<double> out;
-  for (const PingRecord& p : pings) {
-    if (p.ok && p.vantage == vantage && p.resolver == resolver) out.push_back(p.rtt_ms);
-  }
-  return out;
+  const std::vector<double>* samples = index().ping_times(vantage, resolver);
+  return samples == nullptr ? std::vector<double>{} : *samples;
 }
 
 Json CampaignResult::to_json() const {

@@ -1,0 +1,139 @@
+#include "core/parallel_campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "netsim/rng.h"
+
+namespace ednsm::core {
+
+namespace {
+
+// Run work(0..n-1) on up to `threads` workers pulling indices from a shared
+// counter. With one worker everything runs inline on the calling thread, so
+// threads=1 has no pool overhead at all. The first exception thrown by any
+// unit is rethrown on the caller after all workers join.
+void for_each_shard(std::size_t n, int threads, const std::function<void(std::size_t)>& work) {
+  const std::size_t workers =
+      std::min<std::size_t>(n, static_cast<std::size_t>(std::max(threads, 1)));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) work(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        work(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(drain);
+  drain();
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// Move `from`'s elements into per-round buckets, preserving relative order.
+template <typename Record>
+std::vector<std::vector<Record>> bucket_by_round(std::vector<Record> from, int rounds) {
+  std::vector<std::vector<Record>> buckets(static_cast<std::size_t>(rounds));
+  for (Record& r : from) {
+    buckets.at(static_cast<std::size_t>(r.round)).push_back(std::move(r));
+  }
+  return buckets;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> shard_seeds(std::uint64_t spec_seed, std::size_t n) {
+  std::vector<std::uint64_t> seeds(n);
+  std::uint64_t state = spec_seed;
+  for (std::uint64_t& s : seeds) s = netsim::splitmix64(state);
+  return seeds;
+}
+
+CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads) {
+  if (auto v = spec.validate(); !v) {
+    throw std::invalid_argument("run_parallel_campaign: invalid spec: " + v.error());
+  }
+
+  const std::size_t shards = spec.vantage_ids.size();
+  const std::vector<std::uint64_t> seeds = shard_seeds(spec.seed, shards);
+  std::vector<CampaignResult> shard_results(shards);
+
+  for_each_shard(shards, threads, [&](std::size_t i) {
+    MeasurementSpec shard_spec = spec;
+    shard_spec.vantage_ids = {spec.vantage_ids[i]};
+    shard_spec.seed = seeds[i];
+    SimWorld world(shard_spec.seed);
+    shard_results[i] = CampaignRunner(world, shard_spec).run();
+  });
+
+  CampaignResult merged;
+  merged.spec = spec;
+
+  std::size_t total_records = 0;
+  std::size_t total_pings = 0;
+  std::vector<std::vector<std::vector<ResultRecord>>> records_by_shard(shards);
+  std::vector<std::vector<std::vector<PingRecord>>> pings_by_shard(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    total_records += shard_results[i].records.size();
+    total_pings += shard_results[i].pings.size();
+    records_by_shard[i] = bucket_by_round(std::move(shard_results[i].records), spec.rounds);
+    pings_by_shard[i] = bucket_by_round(std::move(shard_results[i].pings), spec.rounds);
+  }
+
+  // Canonical merge order: round-major, then vantage in spec order, records
+  // within a (round, vantage) shard in their deterministic completion order
+  // (which is resolver completion order within the round).
+  merged.records.reserve(total_records);
+  merged.pings.reserve(total_pings);
+  for (int round = 0; round < spec.rounds; ++round) {
+    for (std::size_t i = 0; i < shards; ++i) {
+      auto& recs = records_by_shard[i][static_cast<std::size_t>(round)];
+      for (ResultRecord& r : recs) {
+        merged.availability.record(r);
+        merged.records.push_back(std::move(r));
+      }
+      auto& pngs = pings_by_shard[i][static_cast<std::size_t>(round)];
+      for (PingRecord& p : pngs) merged.pings.push_back(std::move(p));
+    }
+  }
+  return merged;
+}
+
+std::vector<CampaignResult> run_seed_sweep(const MeasurementSpec& spec, std::size_t sweeps,
+                                           int threads) {
+  if (auto v = spec.validate(); !v) {
+    throw std::invalid_argument("run_seed_sweep: invalid spec: " + v.error());
+  }
+  const std::vector<std::uint64_t> seeds = shard_seeds(spec.seed, sweeps);
+  std::vector<CampaignResult> results(sweeps);
+  for_each_shard(sweeps, threads, [&](std::size_t i) {
+    MeasurementSpec sweep_spec = spec;
+    sweep_spec.seed = seeds[i];
+    // Shards inside each sweep run serially; the sweep itself is the unit of
+    // parallelism here.
+    results[i] = run_parallel_campaign(sweep_spec, 1);
+  });
+  return results;
+}
+
+}  // namespace ednsm::core

@@ -1,0 +1,36 @@
+// Shard-and-merge campaign engine.
+//
+// A multi-vantage campaign decomposes into independent shards — one SimWorld
+// per vantage, seeded deterministically from the spec seed via splitmix64 —
+// that run with zero shared mutable state and merge in canonical
+// (round, vantage, resolver) order. The output is a pure function of the
+// spec: byte-identical JSON for any `threads` value, including 1.
+//
+// Note the decomposition is *defined* this way rather than derived from the
+// legacy single-world run: a single SimWorld threads one RNG stream through
+// every vantage's traffic, so its exact output cannot be reproduced shard by
+// shard. A sharded run is instead exactly "each vantage measured as its own
+// single-vantage campaign", which is also the more faithful model of the
+// paper's fleet of independent probing machines.
+#pragma once
+
+#include "core/campaign.h"
+
+namespace ednsm::core {
+
+// Successive splitmix64 outputs seeded from `spec_seed`: shard i of n gets
+// seeds[i]. Stable across thread counts and shard execution order.
+[[nodiscard]] std::vector<std::uint64_t> shard_seeds(std::uint64_t spec_seed, std::size_t n);
+
+// Run `spec` sharded per vantage across at most `threads` worker threads
+// (clamped to [1, #shards]). Throws std::invalid_argument on an invalid
+// spec, and propagates the first shard exception otherwise.
+[[nodiscard]] CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads);
+
+// Re-run `spec` under `sweeps` derived seeds (splitmix64 from spec.seed),
+// sweeping whole campaigns across the worker pool — the "many more seeds
+// than the paper's runs" workload. Results come back in seed order.
+[[nodiscard]] std::vector<CampaignResult> run_seed_sweep(const MeasurementSpec& spec,
+                                                         std::size_t sweeps, int threads);
+
+}  // namespace ednsm::core

@@ -17,30 +17,32 @@ constexpr auto kDecode = make_decode_table();
 }  // namespace
 
 std::string base64url_encode(std::span<const std::uint8_t> data) {
-  std::string out;
-  out.reserve((data.size() + 2) / 3 * 4);
+  // Unpadded length: 4 chars per full 3-byte group, 2 or 3 for the remainder.
+  const std::size_t rem = data.size() % 3;
+  const std::size_t full = data.size() - rem;
+  std::string out(full / 3 * 4 + (rem == 0 ? 0 : rem + 1), '\0');
+  char* o = out.data();
   std::size_t i = 0;
-  while (i + 3 <= data.size()) {
+  while (i < full) {
     const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
                             (static_cast<std::uint32_t>(data[i + 1]) << 8) |
                             data[i + 2];
-    out.push_back(kAlphabet[(v >> 18) & 63]);
-    out.push_back(kAlphabet[(v >> 12) & 63]);
-    out.push_back(kAlphabet[(v >> 6) & 63]);
-    out.push_back(kAlphabet[v & 63]);
+    *o++ = kAlphabet[(v >> 18) & 63];
+    *o++ = kAlphabet[(v >> 12) & 63];
+    *o++ = kAlphabet[(v >> 6) & 63];
+    *o++ = kAlphabet[v & 63];
     i += 3;
   }
-  const std::size_t rem = data.size() - i;
   if (rem == 1) {
     const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
-    out.push_back(kAlphabet[(v >> 18) & 63]);
-    out.push_back(kAlphabet[(v >> 12) & 63]);
+    *o++ = kAlphabet[(v >> 18) & 63];
+    *o++ = kAlphabet[(v >> 12) & 63];
   } else if (rem == 2) {
     const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
                             (static_cast<std::uint32_t>(data[i + 1]) << 8);
-    out.push_back(kAlphabet[(v >> 18) & 63]);
-    out.push_back(kAlphabet[(v >> 12) & 63]);
-    out.push_back(kAlphabet[(v >> 6) & 63]);
+    *o++ = kAlphabet[(v >> 18) & 63];
+    *o++ = kAlphabet[(v >> 12) & 63];
+    *o++ = kAlphabet[(v >> 6) & 63];
   }
   return out;
 }
@@ -48,8 +50,8 @@ std::string base64url_encode(std::span<const std::uint8_t> data) {
 Result<util::Bytes> base64url_decode(std::string_view text) {
   // Lengths of 1 mod 4 cannot arise from any byte sequence.
   if (text.size() % 4 == 1) return Err{std::string("base64url: invalid length")};
-  util::Bytes out;
-  out.reserve(text.size() / 4 * 3 + 2);
+  util::Bytes out(text.size() * 6 / 8);
+  std::uint8_t* o = out.data();
 
   std::uint32_t acc = 0;
   int bits = 0;
@@ -60,7 +62,7 @@ Result<util::Bytes> base64url_decode(std::string_view text) {
     bits += 6;
     if (bits >= 8) {
       bits -= 8;
-      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+      *o++ = static_cast<std::uint8_t>((acc >> bits) & 0xff);
     }
   }
   // Leftover bits must be zero (canonical encoding).

@@ -153,7 +153,7 @@ Result<Rdata> read_rdata(WireReader& r, RecordType type, std::uint16_t rdlen) {
       while (r.offset() < end) {
         auto len = r.u8();
         if (!len) return Err{len.error()};
-        auto data = r.bytes(len.value());
+        auto data = r.view(len.value());
         if (!data) return Err{std::string("message: truncated TXT string")};
         rec.strings.emplace_back(reinterpret_cast<const char*>(data.value().data()),
                                  data.value().size());
@@ -211,7 +211,7 @@ Result<ResourceRecord> read_rr(WireReader& r, std::optional<EdnsInfo>& edns_out)
   if (static_cast<RecordType>(type.value()) == RecordType::OPT) {
     if (edns_out.has_value()) return Err{std::string("message: duplicate OPT RR")};
     if (!name.value().is_root()) return Err{std::string("message: OPT owner must be root")};
-    auto rdata = r.bytes(rdlen.value());
+    auto rdata = r.view(rdlen.value());
     if (!rdata) return Err{std::string("message: truncated OPT RDATA")};
     auto info = parse_opt_rr(rclass.value(), ttl.value(), rdata.value());
     if (!info) return Err{info.error()};
@@ -271,6 +271,9 @@ std::string AaaaRecord::to_string() const {
 
 util::Bytes Message::encode(std::size_t pad_block) const {
   WireWriter w;
+  // Most messages (padded queries, few-record responses) fit 256 octets;
+  // pre-sizing avoids the doubling reallocations of an empty buffer.
+  w.reserve(256);
   NameCompressor comp;
 
   w.u16(header.id);

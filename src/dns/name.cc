@@ -102,8 +102,13 @@ Name Name::parent() const {
 
 void NameCompressor::write(WireWriter& w, const Name& name) {
   const auto& labels = name.labels();
+  // One lowercased key per name; each suffix key is a view into it (labels
+  // never contain '.', Name::parse splits on it, so '.' is unambiguous).
+  std::string full = suffix_key(labels, 0);
+  std::size_t start = 0;
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    const std::string key = suffix_key(labels, i);
+    const std::string_view key = std::string_view(full).substr(start);
+    start += labels[i].size() + 1;
     const auto it = suffix_offsets_.find(key);
     if (it != suffix_offsets_.end()) {
       w.u16(static_cast<std::uint16_t>(0xC000 | it->second));
@@ -153,7 +158,7 @@ Result<Name> read_name(WireReader& r) {
     if ((len & 0xC0) != 0) return Err{std::string("name: reserved label type")};
     if (len == 0) break;  // root: name complete
 
-    auto data_r = r.bytes(len);
+    auto data_r = r.view(len);
     if (!data_r) return Err{data_r.error()};
     decoded_len += 1 + static_cast<std::size_t>(len);
     if (decoded_len > kMaxNameWireLength) return Err{std::string("name: exceeds 255 octets")};
@@ -165,13 +170,19 @@ Result<Name> read_name(WireReader& r) {
     if (auto s = r.seek(resume); !s) return Err{s.error()};
   }
 
-  // Re-validate through parse() so decoded names obey the same charset rules.
-  std::string text;
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (i != 0) text.push_back('.');
-    text.append(labels[i]);
+  // Enforce the same charset rules as parse() directly on the decoded labels
+  // (wire labels are already 1..63 octets and within the 255-octet bound, so
+  // only the character check remains) rather than round-tripping through
+  // presentation format, which re-split and re-allocated every label.
+  for (const std::string& label : labels) {
+    for (char c : label) {
+      if (!valid_label_char(c)) {
+        return Err{std::string("name: invalid character in label '") + label + "'"};
+      }
+    }
   }
-  return Name::parse(text);
+  out.labels_ = std::move(labels);
+  return out;
 }
 
 }  // namespace ednsm::dns

@@ -48,6 +48,11 @@ class Name {
 
  private:
   std::vector<std::string> labels_;
+
+  // read_name() builds names straight from decoded wire labels (validated
+  // in place against the same rules as parse()) without a presentation-
+  // format round trip.
+  friend Result<Name> read_name(WireReader& r);
 };
 
 struct NameHash {
@@ -64,7 +69,19 @@ class NameCompressor {
   void write(WireWriter& w, const Name& name);
 
  private:
-  std::unordered_map<std::string, std::uint16_t> suffix_offsets_;
+  // Transparent hashing so suffix lookups take string_views into one
+  // per-name key buffer instead of allocating a std::string per suffix.
+  struct SuffixHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct SuffixEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept { return a == b; }
+  };
+  std::unordered_map<std::string, std::uint16_t, SuffixHash, SuffixEq> suffix_offsets_;
 };
 
 // Decode a (possibly compressed) name starting at the reader's cursor.

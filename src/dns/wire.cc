@@ -2,48 +2,9 @@
 
 namespace ednsm::dns {
 
-void WireWriter::u8(std::uint8_t v) { buf_.push_back(v); }
-
-void WireWriter::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
-}
-
-void WireWriter::u32(std::uint32_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
-  buf_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
-  buf_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
-  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
-}
-
-void WireWriter::bytes(std::span<const std::uint8_t> data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
-}
-
 void WireWriter::patch_u16(std::size_t offset, std::uint16_t v) {
   buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
   buf_.at(offset + 1) = static_cast<std::uint8_t>(v & 0xff);
-}
-
-Result<std::uint8_t> WireReader::u8() {
-  if (remaining() < 1) return Err{std::string("wire: truncated u8")};
-  return data_[pos_++];
-}
-
-Result<std::uint16_t> WireReader::u16() {
-  if (remaining() < 2) return Err{std::string("wire: truncated u16")};
-  const auto hi = data_[pos_];
-  const auto lo = data_[pos_ + 1];
-  pos_ += 2;
-  return static_cast<std::uint16_t>((hi << 8) | lo);
-}
-
-Result<std::uint32_t> WireReader::u32() {
-  if (remaining() < 4) return Err{std::string("wire: truncated u32")};
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
-  pos_ += 4;
-  return v;
 }
 
 Result<util::Bytes> WireReader::bytes(std::size_t n) {

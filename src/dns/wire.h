@@ -14,12 +14,27 @@
 
 namespace ednsm::dns {
 
+// The primitive writers/readers are defined inline: they run millions of
+// times per simulated campaign and are too small to pay a cross-TU call for.
 class WireWriter {
  public:
-  void u8(std::uint8_t v);
-  void u16(std::uint16_t v);
-  void u32(std::uint32_t v);
-  void bytes(std::span<const std::uint8_t> data);
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  void u32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  // Pre-size the buffer when the caller can estimate the encoded length.
+  void reserve(std::size_t n) { buf_.reserve(n); }
 
   // Overwrite a previously written u16 (used to backpatch RDLENGTH).
   void patch_u16(std::size_t offset, std::uint16_t v);
@@ -36,10 +51,35 @@ class WireReader {
  public:
   explicit WireReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
 
-  [[nodiscard]] Result<std::uint8_t> u8();
-  [[nodiscard]] Result<std::uint16_t> u16();
-  [[nodiscard]] Result<std::uint32_t> u32();
+  [[nodiscard]] Result<std::uint8_t> u8() {
+    if (remaining() < 1) return Err{std::string("wire: truncated u8")};
+    return data_[pos_++];
+  }
+  [[nodiscard]] Result<std::uint16_t> u16() {
+    if (remaining() < 2) return Err{std::string("wire: truncated u16")};
+    const auto hi = data_[pos_];
+    const auto lo = data_[pos_ + 1];
+    pos_ += 2;
+    return static_cast<std::uint16_t>((hi << 8) | lo);
+  }
+  [[nodiscard]] Result<std::uint32_t> u32() {
+    if (remaining() < 4) return Err{std::string("wire: truncated u32")};
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
   [[nodiscard]] Result<util::Bytes> bytes(std::size_t n);
+
+  // Borrow `n` bytes at the cursor without copying. The span aliases the
+  // reader's underlying buffer, so it is valid only while that buffer lives;
+  // prefer this over bytes() when the caller copies into its own storage.
+  [[nodiscard]] Result<std::span<const std::uint8_t>> view(std::size_t n) {
+    if (remaining() < n) return Err{std::string("wire: truncated bytes")};
+    const std::span<const std::uint8_t> out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
 
   // Random access (name decompression follows pointers backwards).
   [[nodiscard]] std::span<const std::uint8_t> whole() const noexcept { return data_; }

@@ -17,6 +17,7 @@ Request make_doh_request(std::string_view authority, std::string_view path,
                          std::span<const std::uint8_t> dns_message, bool use_post) {
   Request req;
   req.authority = std::string(authority);
+  req.headers.reserve(2);
   req.headers.emplace_back("accept", std::string(kDnsMessageMediaType));
   if (use_post) {
     req.method = "POST";

@@ -14,6 +14,7 @@ constexpr std::size_t kPrefaceLen = sizeof(kPreface) - 1;
 
 util::Bytes Frame::encode() const {
   dns::WireWriter w;
+  w.reserve(9 + payload.size());  // frame header + payload
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   w.u8(static_cast<std::uint8_t>((len >> 16) & 0xff));
   w.u8(static_cast<std::uint8_t>((len >> 8) & 0xff));
@@ -79,6 +80,7 @@ util::Bytes H2ClientSession::serialize_request(const Request& req,
   stream_id_out = sid;
 
   std::vector<hpack::Header> headers;
+  headers.reserve(4 + req.headers.size());
   headers.emplace_back(":method", req.method);
   headers.emplace_back(":scheme", "https");
   headers.emplace_back(":authority", req.authority);
@@ -265,6 +267,7 @@ util::Bytes H2ServerSession::serialize_response(std::uint32_t stream_id, const R
   }
 
   std::vector<hpack::Header> headers;
+  headers.reserve(1 + resp.headers.size());
   headers.emplace_back(":status", std::to_string(resp.status));
   for (const auto& [k, v] : resp.headers) headers.emplace_back(util::to_lower(k), v);
 

@@ -1,0 +1,113 @@
+// UniqueCallback: a move-only, small-buffer-optimized `void()` callable.
+//
+// The event queue schedules one of these per simulated packet, timer, and
+// probe step, so the common case must not touch the heap. std::function
+// (a) requires copyability, forcing captured state to be copyable, and
+// (b) heap-allocates for captures beyond ~16 bytes on common ABIs. This type
+// stores any nothrow-move-constructible callable of up to kInlineSize bytes
+// inline and falls back to the heap only for oversized captures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ednsm::netsim {
+
+class UniqueCallback {
+ public:
+  // Sized so a lambda capturing a Datagram (two endpoints + a byte vector)
+  // or a std::function-based completion plus a few words stays inline.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  UniqueCallback() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  UniqueCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      obj_ = ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      obj_ = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  UniqueCallback(UniqueCallback&& other) noexcept { steal(other); }
+
+  UniqueCallback& operator=(UniqueCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  UniqueCallback(const UniqueCallback&) = delete;
+  UniqueCallback& operator=(const UniqueCallback&) = delete;
+
+  ~UniqueCallback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(obj_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(obj_);
+      ops_ = nullptr;
+      obj_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct into `to` and destroy the source; null for heap storage
+    // (heap targets move by stealing the pointer instead).
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) D(std::move(*static_cast<D*>(from)));
+        static_cast<D*>(from)->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      nullptr,
+      [](void* p) noexcept { delete static_cast<D*>(p); },
+  };
+
+  void steal(UniqueCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (other.ops_->relocate != nullptr) {
+      ops_->relocate(other.obj_, buf_);
+      obj_ = buf_;
+    } else {
+      obj_ = other.obj_;
+    }
+    other.ops_ = nullptr;
+    other.obj_ = nullptr;
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+  void* obj_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ednsm::netsim

@@ -18,11 +18,11 @@ void Network::set_icmp_responder(IpAddr host, bool responds) {
 }
 
 void Network::set_quirk(IpAddr a, IpAddr b, const PathQuirk& quirk) {
-  quirks_[{a, b}] = quirk;
-  quirks_[{b, a}] = quirk;
+  quirks_[pair_key(a, b)] = quirk;
+  quirks_[pair_key(b, a)] = quirk;
   // Invalidate any already-built path so the quirk takes effect.
-  paths_.erase({a, b});
-  paths_.erase({b, a});
+  paths_.erase(pair_key(a, b));
+  paths_.erase(pair_key(b, a));
 }
 
 void Network::bind(const Endpoint& local, DatagramHandler handler) {
@@ -40,7 +40,7 @@ std::uint16_t Network::ephemeral_port(IpAddr host) {
 }
 
 const PathModel& Network::path(IpAddr src, IpAddr dst) {
-  const auto key = std::make_pair(src, dst);
+  const std::uint64_t key = pair_key(src, dst);
   const auto it = paths_.find(key);
   if (it != paths_.end()) return it->second;
 

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -99,12 +98,19 @@ class Network {
     bool icmp_responder = true;
   };
 
+  // Paths are looked up once per packet, so the (src, dst) pair is packed
+  // into one u64 hashed key instead of an ordered pair-keyed tree. Nothing
+  // iterates these maps; only point lookups, so ordering is irrelevant.
+  [[nodiscard]] static constexpr std::uint64_t pair_key(IpAddr src, IpAddr dst) noexcept {
+    return (static_cast<std::uint64_t>(src.value) << 32) | dst.value;
+  }
+
   EventQueue& queue_;
   Rng rng_;
   AddressAllocator allocator_;
   std::unordered_map<IpAddr, Host, IpAddrHash> hosts_;
-  std::map<std::pair<IpAddr, IpAddr>, PathModel> paths_;
-  std::map<std::pair<IpAddr, IpAddr>, PathQuirk> quirks_;
+  std::unordered_map<std::uint64_t, PathModel> paths_;
+  std::unordered_map<std::uint64_t, PathQuirk> quirks_;
   std::unordered_map<Endpoint, DatagramHandler, EndpointHash> bindings_;
   std::unordered_map<IpAddr, std::uint16_t, IpAddrHash> ephemeral_counters_;
   NetworkStats stats_;

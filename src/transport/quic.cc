@@ -12,6 +12,7 @@ using netsim::Endpoint;
 
 util::Bytes QuicPacket::encode() const {
   dns::WireWriter w;
+  w.reserve(21 + data.size());  // fixed header + payload
   w.u8(static_cast<std::uint8_t>(type));
   w.u32(static_cast<std::uint32_t>(conn_id >> 32));
   w.u32(static_cast<std::uint32_t>(conn_id & 0xffffffffULL));
@@ -78,7 +79,7 @@ struct InitialPayload {
     p.mode = static_cast<TlsMode>(mode.value());
     auto len = r.u8();
     if (!len) return Err{std::string("quic: truncated sni")};
-    auto sni = r.bytes(len.value());
+    auto sni = r.view(len.value());
     if (!sni) return Err{std::string("quic: truncated sni")};
     p.sni.assign(reinterpret_cast<const char*>(sni.value().data()), sni.value().size());
     auto hi = r.u32();

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -232,7 +233,16 @@ class QuicListener {
   double drop_probability_ = 0.0;
   std::uint64_t salt_;
   std::uint64_t next_ticket_id_;
-  std::map<std::pair<netsim::Endpoint, std::uint64_t>, std::shared_ptr<QuicServerConn>> conns_;
+  // Hot per-datagram lookup; point access only (never iterated), so a hashed
+  // map keyed by (peer endpoint, connection id) is order-safe.
+  struct ConnKeyHash {
+    std::size_t operator()(const std::pair<netsim::Endpoint, std::uint64_t>& k) const noexcept {
+      return netsim::EndpointHash{}(k.first) ^ (std::hash<std::uint64_t>{}(k.second) << 1);
+    }
+  };
+  std::unordered_map<std::pair<netsim::Endpoint, std::uint64_t>, std::shared_ptr<QuicServerConn>,
+                     ConnKeyHash>
+      conns_;
 };
 
 }  // namespace ednsm::transport

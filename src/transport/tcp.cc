@@ -11,6 +11,7 @@ using netsim::Endpoint;
 
 util::Bytes TcpSegment::encode() const {
   dns::WireWriter w;
+  w.reserve(13 + data.size());  // fixed header + payload
   w.u8(static_cast<std::uint8_t>(type));
   w.u32(conn_id);
   w.u32(msg_id);

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -230,7 +231,16 @@ class TcpListener {
   double refuse_probability_ = 0.0;
   double drop_syn_probability_ = 0.0;
   std::uint64_t salt_ = 0;  // per-listener seed for the per-attempt failure hash
-  std::map<std::pair<netsim::Endpoint, std::uint32_t>, std::unique_ptr<TcpServerConn>> conns_;
+  // Hot per-segment lookup; point access only (never iterated), so a hashed
+  // map keyed by (peer endpoint, peer port generation) is order-safe.
+  struct ConnKeyHash {
+    std::size_t operator()(const std::pair<netsim::Endpoint, std::uint32_t>& k) const noexcept {
+      return netsim::EndpointHash{}(k.first) ^ (std::hash<std::uint32_t>{}(k.second) << 1);
+    }
+  };
+  std::unordered_map<std::pair<netsim::Endpoint, std::uint32_t>, std::unique_ptr<TcpServerConn>,
+                     ConnKeyHash>
+      conns_;
 };
 
 }  // namespace ednsm::transport

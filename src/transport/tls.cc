@@ -44,7 +44,7 @@ struct ClientHello {
     ch.mode = static_cast<TlsMode>(mode.value());
     auto sni_len = r.u8();
     if (!sni_len) return Err{std::string("tls: truncated SNI")};
-    auto sni = r.bytes(sni_len.value());
+    auto sni = r.view(sni_len.value());
     if (!sni) return Err{std::string("tls: truncated SNI")};
     ch.sni.assign(reinterpret_cast<const char*>(sni.value().data()), sni.value().size());
     auto hi = r.u32();
@@ -91,7 +91,7 @@ struct ServerFlight {
     sf.ticket_id = (static_cast<std::uint64_t>(hi.value()) << 32) | lo.value();
     auto name_len = r.u8();
     if (!name_len) return Err{std::string("tls: truncated cert name")};
-    auto name = r.bytes(name_len.value());
+    auto name = r.view(name_len.value());
     if (!name) return Err{std::string("tls: truncated cert name")};
     sf.certificate_name.assign(reinterpret_cast<const char*>(name.value().data()),
                                name.value().size());
@@ -105,6 +105,7 @@ struct ServerFlight {
 
 util::Bytes TlsRecord::encode() const {
   dns::WireWriter w;
+  w.reserve(21 + payload.size());  // header + payload + AEAD tag
   w.u8(static_cast<std::uint8_t>(type));
   w.u16(0x0303);  // legacy_record_version, as TLS 1.3 puts on the wire
   w.u16(static_cast<std::uint16_t>(payload.size() + 16));  // + AEAD tag

@@ -1,0 +1,220 @@
+// Stress and regression tests for the heap-based event queue: equivalence
+// against a reference std::map model under random schedule/cancel/run
+// interleavings, lazy-cancellation bookkeeping, cancellation from within a
+// running callback, and the release-build past-time clamp.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "netsim/callback.h"
+#include "netsim/event_queue.h"
+#include "netsim/rng.h"
+
+namespace ednsm::netsim {
+namespace {
+
+// The previous implementation of the queue, kept as a behavioral oracle: an
+// ordered map of (when, seq) -> callback plus an id index. Slower, obviously
+// correct, and shares the clamp contract for past-time scheduling.
+class ModelQueue {
+ public:
+  using EventId = std::uint64_t;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  EventId schedule(SimDuration delay, std::function<void()> cb) {
+    if (delay < kZeroDuration) delay = kZeroDuration;
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  EventId schedule_at(SimTime when, std::function<void()> cb) {
+    if (when < now_) when = now_;
+    const EventId id = next_seq_++;
+    events_.emplace(Key{when, id}, std::move(cb));
+    index_.emplace(id, Key{when, id});
+    return id;
+  }
+
+  bool cancel(EventId id) {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    events_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  std::size_t run_until_idle() {
+    std::size_t executed = 0;
+    while (!events_.empty()) {
+      run_front();
+      ++executed;
+    }
+    return executed;
+  }
+
+  std::size_t run_until(SimTime deadline) {
+    std::size_t executed = 0;
+    while (!events_.empty() && events_.begin()->first.first <= deadline) {
+      run_front();
+      ++executed;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return executed;
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+
+ private:
+  using Key = std::pair<SimTime, std::uint64_t>;
+
+  void run_front() {
+    const auto it = events_.begin();
+    now_ = it->first.first;
+    std::function<void()> cb = std::move(it->second);
+    index_.erase(it->first.second);
+    events_.erase(it);
+    cb();
+  }
+
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::map<Key, std::function<void()>> events_;
+  std::map<EventId, Key> index_;
+};
+
+TEST(EventQueueStress, MatchesMapModelOracle) {
+  // Drive the real queue and the model with one op stream (drawn from a
+  // deterministic RNG) and require identical execution logs, clocks, event
+  // ids, cancel results, and pending counts at every checkpoint.
+  EventQueue real;
+  ModelQueue model;
+  std::vector<std::uint64_t> real_log, model_log;
+  std::vector<EventQueue::EventId> issued;
+
+  Rng rng(0xfeedULL);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t kind = rng.uniform_u64(100);
+    if (kind < 55) {
+      // Schedule (occasionally with a "negative" absolute time to exercise
+      // the clamp: schedule_at at a time already in the past).
+      const bool in_past = rng.bernoulli(0.1);
+      const SimTime when = in_past
+                               ? SimTime(real.now().count() / 2)
+                               : real.now() + SimDuration(rng.uniform_u64(5000));
+      const auto ra = real.schedule_at(when, [&real_log, id = issued.size()] {
+        real_log.push_back(id);
+      });
+      const auto ma = model.schedule_at(when, [&model_log, id = issued.size()] {
+        model_log.push_back(id);
+      });
+      ASSERT_EQ(ra, ma);
+      issued.push_back(ra);
+    } else if (kind < 75 && !issued.empty()) {
+      const auto id = issued[rng.uniform_u64(issued.size())];
+      ASSERT_EQ(real.cancel(id), model.cancel(id));
+    } else if (kind < 95) {
+      const SimTime deadline = real.now() + SimDuration(rng.uniform_u64(3000));
+      ASSERT_EQ(real.run_until(deadline), model.run_until(deadline));
+    } else {
+      ASSERT_EQ(real.run_until_idle(), model.run_until_idle());
+    }
+    ASSERT_EQ(real.now(), model.now());
+    ASSERT_EQ(real.pending(), model.pending());
+    ASSERT_EQ(real_log, model_log);
+  }
+  real.run_until_idle();
+  model.run_until_idle();
+  EXPECT_EQ(real_log, model_log);
+  EXPECT_EQ(real.now(), model.now());
+}
+
+TEST(EventQueue, CancelFromWithinCallback) {
+  EventQueue q;
+  bool b_ran = false;
+  bool c_ran = false;
+  const auto b = q.schedule(std::chrono::milliseconds(20), [&] { b_ran = true; });
+  const auto c = q.schedule(std::chrono::milliseconds(10), [&] { c_ran = true; });
+  q.schedule(std::chrono::milliseconds(10), [&] {
+    // c shares our timestamp but was scheduled earlier, so it already ran:
+    // cancelling it must report false. b is still pending: cancel succeeds.
+    EXPECT_FALSE(q.cancel(c));
+    EXPECT_TRUE(q.cancel(b));
+    EXPECT_FALSE(q.cancel(b));
+  });
+  EXPECT_EQ(q.run_until_idle(), 2u);
+  EXPECT_TRUE(c_ran);
+  EXPECT_FALSE(b_ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameInstantCancelOfLaterEvent) {
+  // An event may cancel another event scheduled for the same instant that
+  // has not fired yet (scheduled after it in tie-break order).
+  EventQueue q;
+  bool later_ran = false;
+  EventQueue::EventId later = 0;
+  q.schedule(std::chrono::milliseconds(5), [&] { EXPECT_TRUE(q.cancel(later)); });
+  later = q.schedule(std::chrono::milliseconds(5), [&] { later_ran = true; });
+  EXPECT_EQ(q.run_until_idle(), 1u);
+  EXPECT_FALSE(later_ran);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  // Regression for the NDEBUG hole: the old implementation only assert()ed
+  // against past-time scheduling, so release builds could move now()
+  // backwards. The contract is now an explicit clamp in every build mode.
+  EventQueue q;
+  q.schedule(std::chrono::milliseconds(10), [] {});
+  q.run_until_idle();
+  ASSERT_EQ(q.now(), SimTime(std::chrono::milliseconds(10)));
+
+  std::vector<SimTime> fired_at;
+  q.schedule_at(SimTime(std::chrono::milliseconds(3)), [&] { fired_at.push_back(q.now()); });
+  q.schedule(std::chrono::milliseconds(-5), [&] { fired_at.push_back(q.now()); });
+  EXPECT_EQ(q.run_until_idle(), 2u);
+  ASSERT_EQ(fired_at.size(), 2u);
+  // Both run "immediately" at the clamped time; the clock never rewinds.
+  EXPECT_EQ(fired_at[0], SimTime(std::chrono::milliseconds(10)));
+  EXPECT_EQ(fired_at[1], SimTime(std::chrono::milliseconds(10)));
+  EXPECT_EQ(q.now(), SimTime(std::chrono::milliseconds(10)));
+}
+
+TEST(EventQueue, CancelledEventsLeavePendingCount) {
+  EventQueue q;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.schedule(std::chrono::milliseconds(i + 1), [] {}));
+  }
+  EXPECT_EQ(q.pending(), 8u);
+  for (const auto id : ids) EXPECT_TRUE(q.cancel(id));
+  // All tombstones: the queue must report empty and run nothing.
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.run_until_idle(), 0u);
+}
+
+TEST(UniqueCallback, InlineAndHeapCapturesBothInvoke) {
+  int hits = 0;
+  UniqueCallback small([&hits] { ++hits; });
+  small();
+  EXPECT_EQ(hits, 1);
+
+  // Force the heap path with a capture larger than the inline buffer.
+  struct Big {
+    char bytes[UniqueCallback::kInlineSize * 2] = {};
+  };
+  Big big;
+  big.bytes[0] = 42;
+  UniqueCallback large([&hits, big] { hits += big.bytes[0]; });
+  UniqueCallback moved = std::move(large);
+  moved();
+  EXPECT_EQ(hits, 43);
+  EXPECT_FALSE(static_cast<bool>(large));  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_TRUE(static_cast<bool>(moved));
+}
+
+}  // namespace
+}  // namespace ednsm::netsim

@@ -1,0 +1,144 @@
+// ednsm-bench: timed paper-campaign runs with a machine-readable summary, so
+// the BENCH_*.json trajectory can be tracked across releases.
+//
+// Usage:
+//   ednsm_bench [--vantages ids] [--rounds N] [--seed S] [--threads N]
+//               [--repeat K] [--json] [--out BENCH_campaign.json]
+//
+// Defaults reproduce the Fig. 2 workload: the full Appendix A.2 registry from
+// the four global vantages, 30 rounds. --threads 0 (default) is the legacy
+// single-world engine; N >= 1 is the sharded engine with N workers. --repeat
+// reruns the campaign K times and reports the fastest wall time (steadier on
+// loaded machines). --json (or --out) emits the summary as JSON; --out also
+// writes it to the given path.
+//
+// Exit codes: 0 ok, 1 bad usage, 3 I/O error.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/json.h"
+#include "core/parallel_campaign.h"
+#include "resolver/registry.h"
+#include "util/strings.h"
+
+using namespace ednsm;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  for (std::string_view part : util::split(csv, ',')) {
+    if (!part.empty()) out.emplace_back(part);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> options;
+  bool json_to_stdout = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json_to_stdout = true;
+      continue;
+    }
+    if (!arg.starts_with("--") || i + 1 >= argc) {
+      std::fprintf(stderr, "usage: ednsm_bench [--vantages ids] [--rounds N] [--seed S] "
+                           "[--threads N] [--repeat K] [--json] [--out file]\n");
+      return 1;
+    }
+    options[std::string(arg.substr(2))] = argv[++i];
+  }
+
+  std::vector<std::string> vantages = {"home-chicago-1", "ec2-ohio", "ec2-frankfurt",
+                                       "ec2-seoul"};
+  if (const auto it = options.find("vantages"); it != options.end()) {
+    vantages = split_list(it->second);
+  }
+  int rounds = 30;
+  if (const auto it = options.find("rounds"); it != options.end()) {
+    rounds = std::atoi(it->second.c_str());
+  }
+  std::uint64_t seed = 20250704;
+  if (const auto it = options.find("seed"); it != options.end()) {
+    seed = std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  int threads = 0;
+  if (const auto it = options.find("threads"); it != options.end()) {
+    threads = std::atoi(it->second.c_str());
+  }
+  int repeat = 1;
+  if (const auto it = options.find("repeat"); it != options.end()) {
+    repeat = std::max(1, std::atoi(it->second.c_str()));
+  }
+
+  core::MeasurementSpec spec;
+  for (const auto& s : resolver::paper_resolver_list()) spec.resolvers.push_back(s.hostname);
+  spec.vantage_ids = vantages;
+  spec.rounds = rounds;
+  spec.seed = seed;
+  if (auto valid = spec.validate(); !valid) {
+    std::fprintf(stderr, "invalid bench spec: %s\n", valid.error().c_str());
+    return 1;
+  }
+
+  core::CampaignResult result;
+  double best_wall_ms = 0.0;
+  for (int run = 0; run < repeat; ++run) {
+    const auto start = std::chrono::steady_clock::now();
+    if (threads <= 0) {
+      core::SimWorld world(seed);
+      result = core::CampaignRunner(world, spec).run();
+    } else {
+      result = core::run_parallel_campaign(spec, threads);
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (run == 0 || wall_ms < best_wall_ms) best_wall_ms = wall_ms;
+  }
+
+  const double records_per_sec =
+      best_wall_ms > 0.0 ? static_cast<double>(result.records.size()) / (best_wall_ms / 1000.0)
+                         : 0.0;
+
+  core::JsonObject o;
+  o["bench"] = core::Json(std::string("paper_campaign"));
+  o["engine"] = core::Json(std::string(threads > 0 ? "sharded" : "legacy"));
+  o["threads"] = core::Json(static_cast<double>(threads));
+  o["resolvers"] = core::Json(static_cast<double>(spec.resolvers.size()));
+  o["vantages"] = core::Json(static_cast<double>(vantages.size()));
+  o["rounds"] = core::Json(static_cast<double>(rounds));
+  o["seed"] = core::Json(static_cast<double>(seed));
+  o["repeat"] = core::Json(static_cast<double>(repeat));
+  o["records"] = core::Json(static_cast<double>(result.records.size()));
+  o["pings"] = core::Json(static_cast<double>(result.pings.size()));
+  o["error_rate"] = core::Json(result.availability.overall().error_rate());
+  o["wall_ms"] = core::Json(best_wall_ms);
+  o["records_per_sec"] = core::Json(records_per_sec);
+  const core::Json summary(std::move(o));
+
+  if (const auto it = options.find("out"); it != options.end()) {
+    std::ofstream out(it->second);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", it->second.c_str());
+      return 3;
+    }
+    out << summary.dump(2) << '\n';
+  }
+  if (json_to_stdout || options.find("out") == options.end()) {
+    std::printf("%s\n", summary.dump(2).c_str());
+  } else {
+    std::fprintf(stderr, "wall %.1f ms (%0.f records/s) -> %s\n", best_wall_ms, records_per_sec,
+                 options.at("out").c_str());
+  }
+  return 0;
+}

@@ -8,7 +8,13 @@
 //                 [--rounds 10] [--protocol DoH|DoT|Do53|DoQ] [--seed 1]
 //                 [--reuse none|keepalive|ticket-resumption]
 //                 [--domains google.com,amazon.com] [--out results.json]
+//                 [--threads N]
 //   ednsm_measure --all-resolvers --vantages ec2-ohio,ec2-seoul
+//
+// --threads N selects the shard-per-vantage parallel engine with N workers
+// (see core/parallel_campaign.h); its JSON output is byte-identical for every
+// N, including --threads 1. Omitting the flag keeps the legacy single-world
+// engine, whose record stream matches earlier releases exactly.
 //
 // Exit codes: 0 ok, 1 bad usage, 2 invalid spec, 3 I/O error.
 #include <cstdio>
@@ -17,6 +23,7 @@
 #include <sstream>
 
 #include "core/campaign.h"
+#include "core/parallel_campaign.h"
 #include "report/figures.h"
 #include "resolver/registry.h"
 #include "util/strings.h"
@@ -125,14 +132,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::fprintf(stderr, "measuring %zu resolvers x %zu vantages x %d rounds over %s...\n",
+  int threads = 0;  // 0 = legacy single-world engine
+  if (const std::string* t = args.value().get("threads")) {
+    threads = std::atoi(t->c_str());
+    if (threads < 1) {
+      std::fprintf(stderr, "error: --threads requires a positive integer (got %s)\n", t->c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr, "measuring %zu resolvers x %zu vantages x %d rounds over %s%s...\n",
                spec.value().resolvers.size(), spec.value().vantage_ids.size(),
                spec.value().rounds,
-               std::string(client::to_string(spec.value().protocol)).c_str());
+               std::string(client::to_string(spec.value().protocol)).c_str(),
+               threads > 0 ? (" (sharded, " + std::to_string(threads) + " threads)").c_str() : "");
 
-  core::SimWorld world(spec.value().seed);
-  core::CampaignRunner runner(world, spec.value());
-  const core::CampaignResult result = runner.run();
+  core::CampaignResult result;
+  if (threads > 0) {
+    result = core::run_parallel_campaign(spec.value(), threads);
+  } else {
+    core::SimWorld world(spec.value().seed);
+    result = core::CampaignRunner(world, spec.value()).run();
+  }
 
   const std::string* out_path = args.value().get("out");
   const std::string path = out_path != nullptr ? *out_path : "results.json";
