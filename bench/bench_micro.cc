@@ -5,6 +5,7 @@
 // make large campaigns slow.
 #include <benchmark/benchmark.h>
 
+#include "client/session.h"
 #include "core/campaign.h"
 #include "core/json.h"
 #include "dns/base64url.h"
@@ -17,6 +18,7 @@
 #include "netsim/path.h"
 #include "netsim/rng.h"
 #include "resolver/cache.h"
+#include "resolver/server.h"
 #include "resolver/upstream.h"
 
 namespace {
@@ -226,6 +228,45 @@ void BM_CampaignRound(benchmark::State& state) {
                           static_cast<std::int64_t>(spec.resolvers.size()));
 }
 BENCHMARK(BM_CampaignRound);
+
+void BM_DohQueryColdVsWarm(benchmark::State& state) {
+  // One simulated DoH query end-to-end through the session layer. Arg(0):
+  // every iteration pays a fresh TCP+TLS handshake (ReusePolicy::None);
+  // Arg(1): a keepalive session is primed once, so iterations measure the
+  // warm exchange path alone. The gap is the per-query cost of connection
+  // setup that the decomposition table reports in simulated time.
+  const bool warm = state.range(0) == 1;
+  netsim::EventQueue queue;
+  netsim::Network net(queue, netsim::Rng(11));
+  const netsim::IpAddr client_ip = net.attach("client", geo::city::kColumbusOhio,
+                                              netsim::AccessLinkModel::datacenter());
+  resolver::ServerBehavior behavior;
+  behavior.warm_cache_probability = 1.0;
+  resolver::ResolverServer server(
+      net, "dns.example", resolver::AnycastSite{"Chicago", geo::city::kChicago}, behavior);
+  transport::ConnectionPool pool(net, client_ip);
+  client::QueryOptions options;
+  options.reuse = warm ? transport::ReusePolicy::Keepalive : transport::ReusePolicy::None;
+  client::SessionTarget target;
+  target.server = server.address();
+  target.hostname = "dns.example";
+  const client::SessionFactory factory(net, client_ip, pool);
+  const auto session = factory.create(client::Protocol::DoH, std::move(target), options);
+  const dns::Name qname = dns::Name::parse("www.example.com").value();
+  auto ask = [&] {
+    bool ok = false;
+    session->query(qname, dns::RecordType::A,
+                   [&ok](client::QueryOutcome o) { ok = o.ok; });
+    queue.run_until_idle();
+    return ok;
+  };
+  if (warm && !ask()) state.SkipWithError("priming query failed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ask());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DohQueryColdVsWarm)->Arg(0)->Arg(1);
 
 void BM_NameCompressionEncode(benchmark::State& state) {
   const dns::Name names[] = {

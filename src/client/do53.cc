@@ -9,6 +9,14 @@ constexpr netsim::SimDuration kRetransmitAfter = std::chrono::seconds(2);
 Do53Client::Do53Client(netsim::Network& net, netsim::IpAddr local_ip, QueryOptions options)
     : net_(net), local_ip_(local_ip), options_(options) {}
 
+Do53Client::Do53Client(netsim::Network& net, netsim::IpAddr local_ip, SessionTarget target,
+                       QueryOptions options)
+    : net_(net), local_ip_(local_ip), target_(std::move(target)), options_(options) {}
+
+void Do53Client::query(const dns::Name& qname, dns::RecordType qtype, QueryCallback cb) {
+  query(target_.server, qname, qtype, std::move(cb));
+}
+
 void Do53Client::query(netsim::IpAddr server, const dns::Name& qname, dns::RecordType qtype,
                        QueryCallback cb) {
   struct State {
@@ -71,6 +79,8 @@ void Do53Client::query(netsim::IpAddr server, const dns::Name& qname, dns::Recor
       outcome.answers = std::move(response.value().answers);
     }
     if (!state->guard->fire()) return;
+    // No connection phases on UDP: the whole query is one exchange.
+    outcome.timing.exchange = state->owner->net_.queue().now() - state->started;
     finish(std::move(outcome));
   });
 

@@ -8,6 +8,14 @@ DohClient::DohClient(netsim::Network& net, transport::ConnectionPool& pool,
                      QueryOptions options)
     : net_(net), pool_(pool), options_(options) {}
 
+DohClient::DohClient(netsim::Network& net, transport::ConnectionPool& pool, SessionTarget target,
+                     QueryOptions options)
+    : net_(net), pool_(pool), target_(std::move(target)), options_(options) {}
+
+void DohClient::query(const dns::Name& qname, dns::RecordType qtype, QueryCallback cb) {
+  query(target_.server, target_.hostname, qname, qtype, std::move(cb));
+}
+
 void DohClient::query(netsim::IpAddr server, const std::string& sni, const dns::Name& qname,
                       dns::RecordType qtype, QueryCallback cb) {
   struct State {
@@ -21,7 +29,7 @@ void DohClient::query(netsim::IpAddr server, const std::string& sni, const dns::
   state->id = static_cast<std::uint16_t>(net_.rng().next_u64() & 0xffff);
 
   const netsim::Endpoint remote{server, netsim::kPortHttps};
-  const auto session_key = std::make_pair(remote, sni);
+  const transport::SessionKey session_key{remote, sni};
 
   auto finish = [this, state, cb](QueryOutcome outcome) {
     outcome.protocol = Protocol::DoH;
@@ -112,10 +120,18 @@ void DohClient::query(netsim::IpAddr server, const std::string& sni, const dns::
                                  : netsim::kZeroDuration;
         timing.connection_reused = !l.fresh;
         timing.tls_mode = l.mode;
+        timing.tcp_handshake = l.tcp_handshake;
+        timing.tls_handshake = l.tls_handshake;
+        timing.wait_in_pool = l.wait_in_pool;
 
         if (!options_.use_http2) {
-          l.tls->on_data([timing, complete](util::Bytes data) {
-            complete(timing, http::Response::decode(data));
+          http::ExchangeTiming ex;
+          ex.request_sent = net_.queue().now();
+          l.tls->on_data([this, ex, timing, complete](util::Bytes data) mutable {
+            ex.response_received = net_.queue().now();
+            QueryTiming t = timing;
+            t.exchange = ex.elapsed();
+            complete(t, http::Response::decode(data));
           });
           if (!l.early_data_accepted) l.tls->send(request.encode());
           return;
@@ -131,11 +147,14 @@ void DohClient::query(netsim::IpAddr server, const std::string& sni, const dns::
 
         std::uint32_t stream_id = 0;
         const util::Bytes frames = h2->session.serialize_request(request, stream_id);
+        h2->session.stamp_request(stream_id, net_.queue().now());
 
-        l.tls->on_data([h2, stream_id, timing, complete](util::Bytes data) {
+        l.tls->on_data([this, h2, stream_id, timing, complete](util::Bytes data) {
           h2->session.feed(data, [&](std::uint32_t sid, Result<http::Response> resp) {
             if (sid != stream_id) return;  // a stale stream's frames
-            complete(timing, std::move(resp));
+            QueryTiming t = timing;
+            t.exchange = h2->session.finish_exchange(sid, net_.queue().now());
+            complete(t, std::move(resp));
           });
         });
         l.tls->send(frames);

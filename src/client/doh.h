@@ -3,25 +3,35 @@
 // data through the shared pool. This is the protocol the paper measures.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "client/query.h"
+#include "client/session.h"
 #include "http/h2.h"
 #include "netsim/network.h"
 #include "transport/pool.h"
 
 namespace ednsm::client {
 
-class DohClient {
+class DohClient : public ResolverSession {
  public:
   DohClient(netsim::Network& net, transport::ConnectionPool& pool, QueryOptions options = {});
+  // Session-bound form: ResolverSession::query goes to (target.server,
+  // target.hostname).
+  DohClient(netsim::Network& net, transport::ConnectionPool& pool, SessionTarget target,
+            QueryOptions options = {});
 
   // Resolve (qname, qtype) against https://<sni>/dns-query at `server`.
   // Callback fires exactly once.
   void query(netsim::IpAddr server, const std::string& sni, const dns::Name& qname,
              dns::RecordType qtype, QueryCallback cb);
+
+  // ResolverSession:
+  void query(const dns::Name& qname, dns::RecordType qtype, QueryCallback cb) override;
+  [[nodiscard]] Protocol protocol() const noexcept override { return Protocol::DoH; }
+  [[nodiscard]] const SessionTarget& target() const noexcept override { return target_; }
 
   [[nodiscard]] const QueryOptions& options() const noexcept { return options_; }
 
@@ -34,8 +44,12 @@ class DohClient {
 
   netsim::Network& net_;
   transport::ConnectionPool& pool_;
+  SessionTarget target_;
   QueryOptions options_;
-  std::map<std::pair<netsim::Endpoint, std::string>, std::shared_ptr<H2State>> h2_sessions_;
+  // Point access only (never iterated) — hashed, keyed like the pool's
+  // session cache.
+  std::unordered_map<transport::SessionKey, std::shared_ptr<H2State>, transport::SessionKeyHash>
+      h2_sessions_;
 };
 
 }  // namespace ednsm::client

@@ -7,6 +7,14 @@ namespace ednsm::client {
 DoqClient::DoqClient(netsim::Network& net, netsim::IpAddr local_ip, QueryOptions options)
     : net_(net), local_ip_(local_ip), options_(options) {}
 
+DoqClient::DoqClient(netsim::Network& net, netsim::IpAddr local_ip, SessionTarget target,
+                     QueryOptions options)
+    : net_(net), local_ip_(local_ip), target_(std::move(target)), options_(options) {}
+
+void DoqClient::query(const dns::Name& qname, dns::RecordType qtype, QueryCallback cb) {
+  query(target_.server, target_.hostname, qname, qtype, std::move(cb));
+}
+
 void DoqClient::invalidate(const netsim::Endpoint& remote, const std::string& sni) {
   sessions_.erase({remote, sni});
 }
@@ -47,17 +55,21 @@ void DoqClient::query(netsim::IpAddr server, const std::string& sni, const dns::
   const dns::Message query_msg = dns::make_query(state->id, qname, qtype);
   const util::Bytes framed = resolver::dot_frame(query_msg.encode(options_.pad_block));
 
-  // Response handler shared by every path; matches on stream id.
+  // Response handler shared by every path; matches on stream id. `sent_at`
+  // is when the query stream was handed to the transport (for accepted 0-RTT
+  // the stream rode the handshake flight, so the exchange clock starts once
+  // the connection is ready).
   auto install_handler = [this, state, finish](transport::QuicConnection& conn,
-                                               std::uint64_t expected_stream,
-                                               QueryTiming timing) {
-    conn.on_stream([state, expected_stream, timing, finish](std::uint64_t stream_id,
-                                                            util::Bytes data) {
+                                               std::uint64_t expected_stream, QueryTiming timing,
+                                               netsim::SimTime sent_at) {
+    conn.on_stream([this, state, expected_stream, timing, sent_at,
+                    finish](std::uint64_t stream_id, util::Bytes data) {
       if (stream_id != expected_stream) return;  // an earlier query's answer
       if (!state->guard || state->guard->fired()) return;
       auto messages = resolver::dot_unframe(data);
       QueryOutcome outcome;
       outcome.timing = timing;
+      outcome.timing.exchange = net_.queue().now() - sent_at;
       if (!messages || messages.value().empty()) {
         if (!state->guard->fire()) return;
         outcome.error = QueryError{QueryErrorClass::Malformed, "doq: bad framing"};
@@ -86,7 +98,7 @@ void DoqClient::query(netsim::IpAddr server, const std::string& sni, const dns::
       QueryTiming timing;
       timing.connection_reused = true;
       const std::uint64_t sid = conn.send_stream(framed);
-      install_handler(conn, sid, timing);
+      install_handler(conn, sid, timing, net_.queue().now());
       return;
     }
   } else {
@@ -136,13 +148,15 @@ void DoqClient::query(netsim::IpAddr server, const std::string& sni, const dns::
         timing.connect = net_.queue().now() - state->started;
         timing.connection_reused = false;
         timing.tls_mode = mode;
+        // QUIC folds transport + crypto setup into one phase.
+        timing.quic_handshake = live->handshake_duration();
 
         // With accepted 0-RTT the query is already at the server on stream 0;
         // if it was rejected, QuicConnection replayed it on stream 0 itself.
         const std::uint64_t sid = (mode == transport::TlsMode::EarlyData)
                                       ? 0
                                       : live->send_stream(framed);
-        install_handler(*live, sid, timing);
+        install_handler(*live, sid, timing, net_.queue().now());
       });
 }
 

@@ -9,25 +9,36 @@
 // ticket store, honoring the same ReusePolicy semantics.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "client/query.h"
+#include "client/session.h"
 #include "netsim/network.h"
+#include "transport/pool.h"  // SessionKey
 #include "transport/quic.h"
 #include "transport/udp.h"
 
 namespace ednsm::client {
 
-class DoqClient {
+class DoqClient : public ResolverSession {
  public:
   DoqClient(netsim::Network& net, netsim::IpAddr local_ip, QueryOptions options = {});
+  // Session-bound form: ResolverSession::query goes to (target.server,
+  // target.hostname).
+  DoqClient(netsim::Network& net, netsim::IpAddr local_ip, SessionTarget target,
+            QueryOptions options = {});
 
   // Resolve (qname, qtype) against the DoQ endpoint of `server`. Callback
   // fires exactly once.
   void query(netsim::IpAddr server, const std::string& sni, const dns::Name& qname,
              dns::RecordType qtype, QueryCallback cb);
+
+  // ResolverSession:
+  void query(const dns::Name& qname, dns::RecordType qtype, QueryCallback cb) override;
+  [[nodiscard]] Protocol protocol() const noexcept override { return Protocol::DoQ; }
+  [[nodiscard]] const SessionTarget& target() const noexcept override { return target_; }
 
   [[nodiscard]] const QueryOptions& options() const noexcept { return options_; }
   [[nodiscard]] std::size_t live_sessions() const noexcept { return sessions_.size(); }
@@ -39,14 +50,18 @@ class DoqClient {
   void invalidate(const netsim::Endpoint& remote, const std::string& sni);
 
  private:
-  using Key = std::pair<netsim::Endpoint, std::string>;
+  using Key = transport::SessionKey;
 
   netsim::Network& net_;
   netsim::IpAddr local_ip_;
+  SessionTarget target_;
   QueryOptions options_;
   std::uint64_t next_conn_id_ = 1;
-  std::map<Key, std::shared_ptr<transport::QuicConnection>> sessions_;
-  std::map<Key, transport::SessionTicket> tickets_;
+  // Point access only (never iterated) — hashed, keyed like the pool's
+  // session cache.
+  std::unordered_map<Key, std::shared_ptr<transport::QuicConnection>, transport::SessionKeyHash>
+      sessions_;
+  std::unordered_map<Key, transport::SessionTicket, transport::SessionKeyHash> tickets_;
 };
 
 }  // namespace ednsm::client

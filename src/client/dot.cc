@@ -8,6 +8,14 @@ DotClient::DotClient(netsim::Network& net, transport::ConnectionPool& pool,
                      QueryOptions options)
     : net_(net), pool_(pool), options_(options) {}
 
+DotClient::DotClient(netsim::Network& net, transport::ConnectionPool& pool, SessionTarget target,
+                     QueryOptions options)
+    : net_(net), pool_(pool), target_(std::move(target)), options_(options) {}
+
+void DotClient::query(const dns::Name& qname, dns::RecordType qtype, QueryCallback cb) {
+  query(target_.server, target_.hostname, qname, qtype, std::move(cb));
+}
+
 void DotClient::query(netsim::IpAddr server, const std::string& sni, const dns::Name& qname,
                       dns::RecordType qtype, QueryCallback cb) {
   struct State {
@@ -62,11 +70,16 @@ void DotClient::query(netsim::IpAddr server, const std::string& sni, const dns::
                                  : netsim::kZeroDuration;
         timing.connection_reused = !l.fresh;
         timing.tls_mode = l.mode;
+        timing.tcp_handshake = l.tcp_handshake;
+        timing.tls_handshake = l.tls_handshake;
+        timing.wait_in_pool = l.wait_in_pool;
+        const netsim::SimTime sent_at = net_.queue().now();
 
-        l.tls->on_data([state, timing, finish](util::Bytes data) {
+        l.tls->on_data([this, sent_at, state, timing, finish](util::Bytes data) {
           auto messages = resolver::dot_unframe(data);
           QueryOutcome outcome;
           outcome.timing = timing;
+          outcome.timing.exchange = net_.queue().now() - sent_at;
           if (!messages) {
             if (!state->guard || !state->guard->fire()) return;
             outcome.error = QueryError{QueryErrorClass::Malformed, messages.error()};

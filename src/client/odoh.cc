@@ -8,6 +8,14 @@ OdohClient::OdohClient(netsim::Network& net, transport::ConnectionPool& pool,
                        QueryOptions options)
     : net_(net), pool_(pool), options_(options) {}
 
+OdohClient::OdohClient(netsim::Network& net, transport::ConnectionPool& pool,
+                       SessionTarget target, QueryOptions options)
+    : net_(net), pool_(pool), target_(std::move(target)), options_(options) {}
+
+void OdohClient::query(const dns::Name& qname, dns::RecordType qtype, QueryCallback cb) {
+  query(target_.relay, target_.relay_sni, target_.hostname, qname, qtype, std::move(cb));
+}
+
 void OdohClient::query(netsim::IpAddr relay, const std::string& relay_sni,
                        const std::string& target_hostname, const dns::Name& qname,
                        dns::RecordType qtype, QueryCallback cb) {
@@ -24,7 +32,7 @@ void OdohClient::query(netsim::IpAddr relay, const std::string& relay_sni,
   const netsim::Endpoint remote{relay, netsim::kPortHttps};
 
   auto finish = [this, state, cb](QueryOutcome outcome) {
-    outcome.protocol = Protocol::DoH;  // ODoH rides DoH; records tag the relay path
+    outcome.protocol = Protocol::ODoH;
     outcome.timing.total = net_.queue().now() - state->started;
     state->guard.reset();
     cb(std::move(outcome));
@@ -73,11 +81,19 @@ void OdohClient::query(netsim::IpAddr relay, const std::string& relay_sni,
         timing.connect = l.fresh ? net_.queue().now() - state->started
                                  : netsim::kZeroDuration;
         timing.connection_reused = !l.fresh;
+        timing.tls_mode = l.mode;
+        timing.tcp_handshake = l.tcp_handshake;
+        timing.tls_handshake = l.tls_handshake;
+        timing.wait_in_pool = l.wait_in_pool;
+        http::ExchangeTiming ex;
+        ex.request_sent = net_.queue().now();
 
-        l.tls->on_data([state, timing, finish](util::Bytes data) {
+        l.tls->on_data([this, ex, state, timing, finish](util::Bytes data) mutable {
           if (!state->guard || state->guard->fired()) return;
+          ex.response_received = net_.queue().now();
           QueryOutcome outcome;
           outcome.timing = timing;
+          outcome.timing.exchange = ex.elapsed();
           auto response = http::Response::decode(data);
           if (!response) {
             if (!state->guard->fire()) return;

@@ -7,14 +7,19 @@
 #include <string>
 
 #include "client/query.h"
+#include "client/session.h"
 #include "netsim/network.h"
 #include "transport/pool.h"
 
 namespace ednsm::client {
 
-class OdohClient {
+class OdohClient : public ResolverSession {
  public:
   OdohClient(netsim::Network& net, transport::ConnectionPool& pool, QueryOptions options = {});
+  // Session-bound form: ResolverSession::query reaches target.hostname via
+  // the relay at (target.relay, target.relay_sni).
+  OdohClient(netsim::Network& net, transport::ConnectionPool& pool, SessionTarget target,
+             QueryOptions options = {});
 
   // Resolve (qname, qtype) at `target_hostname` via the relay at
   // `relay`/`relay_sni`. Callback fires exactly once.
@@ -22,11 +27,17 @@ class OdohClient {
              const std::string& target_hostname, const dns::Name& qname,
              dns::RecordType qtype, QueryCallback cb);
 
+  // ResolverSession:
+  void query(const dns::Name& qname, dns::RecordType qtype, QueryCallback cb) override;
+  [[nodiscard]] Protocol protocol() const noexcept override { return Protocol::ODoH; }
+  [[nodiscard]] const SessionTarget& target() const noexcept override { return target_; }
+
   [[nodiscard]] const QueryOptions& options() const noexcept { return options_; }
 
  private:
   netsim::Network& net_;
   transport::ConnectionPool& pool_;
+  SessionTarget target_;
   QueryOptions options_;
 };
 

@@ -10,8 +10,17 @@ std::string_view to_string(Protocol p) noexcept {
     case Protocol::DoT: return "DoT";
     case Protocol::DoH: return "DoH";
     case Protocol::DoQ: return "DoQ";
+    case Protocol::ODoH: return "ODoH";
   }
   return "?";
+}
+
+std::optional<Protocol> protocol_from_string(std::string_view name) noexcept {
+  for (Protocol p : {Protocol::Do53, Protocol::DoT, Protocol::DoH, Protocol::DoQ,
+                     Protocol::ODoH}) {
+    if (name == to_string(p)) return p;
+  }
+  return std::nullopt;
 }
 
 std::string_view to_string(QueryErrorClass c) noexcept {

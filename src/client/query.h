@@ -19,9 +19,13 @@
 
 namespace ednsm::client {
 
-enum class Protocol { Do53, DoT, DoH, DoQ };
+enum class Protocol { Do53, DoT, DoH, DoQ, ODoH };
 
 [[nodiscard]] std::string_view to_string(Protocol p) noexcept;
+
+// Inverse of to_string (exact match); nullopt for unknown names. The single
+// string->Protocol conversion shared by spec parsing and the CLI tools.
+[[nodiscard]] std::optional<Protocol> protocol_from_string(std::string_view name) noexcept;
 
 enum class QueryErrorClass {
   ConnectRefused,   // TCP RST during handshake
@@ -42,8 +46,27 @@ struct QueryError {
 struct QueryTiming {
   netsim::SimDuration total{0};    // request issued -> outcome known
   netsim::SimDuration connect{0};  // TCP + TLS establishment (zero when reused)
+  // Fine-grained phase breakdown, stamped by the transports and threaded
+  // through the pool lease. All handshake phases are zero when the connection
+  // is reused; `wait_in_pool` is acquire time not attributable to a handshake
+  // (queueing/scheduling inside the pool).
+  netsim::SimDuration tcp_handshake{0};
+  netsim::SimDuration tls_handshake{0};
+  netsim::SimDuration quic_handshake{0};
+  netsim::SimDuration wait_in_pool{0};
+  // Request -> response exchange on the established connection, stamped by
+  // http/h1 and http/h2 for the HTTPS protocols and by the client for the
+  // framed ones. When accepted 0-RTT carries the request inside the
+  // handshake flight, the exchange clock starts once the connection is
+  // ready, so the phase sum never double-counts the overlapped round trip.
+  netsim::SimDuration exchange{0};
   bool connection_reused = false;
   transport::TlsMode tls_mode = transport::TlsMode::Full;
+
+  // Sum of all stamped phases; invariant: phase_sum() <= total.
+  [[nodiscard]] netsim::SimDuration phase_sum() const noexcept {
+    return tcp_handshake + tls_handshake + quic_handshake + wait_in_pool + exchange;
+  }
 };
 
 struct QueryOutcome {

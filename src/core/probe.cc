@@ -1,9 +1,6 @@
 #include "core/probe.h"
 
-#include "client/do53.h"
-#include "client/doh.h"
-#include "client/doq.h"
-#include "client/dot.h"
+#include "client/session.h"
 
 namespace ednsm::core {
 
@@ -26,6 +23,11 @@ ResultRecord from_outcome(ResultRecord r, const client::QueryOutcome& outcome) {
   r.ok = outcome.ok;
   r.response_ms = netsim::to_ms(outcome.timing.total);
   r.connect_ms = netsim::to_ms(outcome.timing.connect);
+  r.tcp_handshake_ms = netsim::to_ms(outcome.timing.tcp_handshake);
+  r.tls_handshake_ms = netsim::to_ms(outcome.timing.tls_handshake);
+  r.quic_handshake_ms = netsim::to_ms(outcome.timing.quic_handshake);
+  r.pool_wait_ms = netsim::to_ms(outcome.timing.wait_in_pool);
+  r.exchange_ms = netsim::to_ms(outcome.timing.exchange);
   r.connection_reused = outcome.timing.connection_reused;
   r.http_status = outcome.http_status;
   r.answer_count = static_cast<int>(outcome.answers.size());
@@ -38,8 +40,9 @@ ResultRecord from_outcome(ResultRecord r, const client::QueryOutcome& outcome) {
   return r;
 }
 
-// Sequential driver for one resolver's domain list. Owns the protocol client
-// so connection state lives exactly as long as the probe.
+// Sequential driver for one resolver's domain list. Owns the protocol
+// session so connection state lives exactly as long as the probe; which
+// concrete client backs it is the SessionFactory's business.
 struct ProbeChain : std::enable_shared_from_this<ProbeChain> {
   SimWorld& world;
   std::string vantage_id;
@@ -49,11 +52,7 @@ struct ProbeChain : std::enable_shared_from_this<ProbeChain> {
   int round;
   DnsProbe::Done done;
 
-  netsim::IpAddr server{};
-  std::unique_ptr<client::Do53Client> do53;
-  std::unique_ptr<client::DotClient> dot;
-  std::unique_ptr<client::DohClient> doh;
-  std::unique_ptr<client::DoqClient> doq;
+  std::unique_ptr<client::ResolverSession> session;
   std::vector<ResultRecord> records;
 
   ProbeChain(SimWorld& w) : world(w), protocol(client::Protocol::DoH), round(0) {}
@@ -76,24 +75,11 @@ struct ProbeChain : std::enable_shared_from_this<ProbeChain> {
       return;
     }
     auto self = shared_from_this();
-    auto on_outcome = [self, rec = std::move(rec), index](client::QueryOutcome outcome) mutable {
-      self->records.push_back(from_outcome(std::move(rec), outcome));
-      self->next(index + 1);
-    };
-    switch (protocol) {
-      case client::Protocol::Do53:
-        do53->query(server, name_r.value(), dns::RecordType::A, std::move(on_outcome));
-        break;
-      case client::Protocol::DoT:
-        dot->query(server, hostname, name_r.value(), dns::RecordType::A, std::move(on_outcome));
-        break;
-      case client::Protocol::DoH:
-        doh->query(server, hostname, name_r.value(), dns::RecordType::A, std::move(on_outcome));
-        break;
-      case client::Protocol::DoQ:
-        doq->query(server, hostname, name_r.value(), dns::RecordType::A, std::move(on_outcome));
-        break;
-    }
+    session->query(name_r.value(), dns::RecordType::A,
+                   [self, rec = std::move(rec), index](client::QueryOutcome outcome) mutable {
+                     self->records.push_back(from_outcome(std::move(rec), outcome));
+                     self->next(index + 1);
+                   });
   }
 };
 
@@ -127,21 +113,18 @@ void DnsProbe::run(SimWorld& world, const std::string& vantage_id,
     return;
   }
 
-  chain->server = *server;
-  switch (protocol) {
-    case client::Protocol::Do53:
-      chain->do53 = std::make_unique<client::Do53Client>(world.net(), vantage.addr, options);
-      break;
-    case client::Protocol::DoT:
-      chain->dot = std::make_unique<client::DotClient>(world.net(), *vantage.pool, options);
-      break;
-    case client::Protocol::DoH:
-      chain->doh = std::make_unique<client::DohClient>(world.net(), *vantage.pool, options);
-      break;
-    case client::Protocol::DoQ:
-      chain->doq = std::make_unique<client::DoqClient>(world.net(), vantage.addr, options);
-      break;
+  client::SessionTarget target;
+  target.server = *server;
+  target.hostname = resolver_hostname;
+  if (protocol == client::Protocol::ODoH) {
+    // ODoH reaches the target through the world's shared relay; the target
+    // address above is only used by ping probes (the paper's Figure 1 gap).
+    resolver::OdohRelay& relay = world.odoh_relay();
+    target.relay = relay.address();
+    target.relay_sni = relay.hostname();
   }
+  const client::SessionFactory factory(world.net(), vantage.addr, *vantage.pool);
+  chain->session = factory.create(protocol, std::move(target), options);
   chain->next(0);
 }
 

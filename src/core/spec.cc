@@ -24,10 +24,7 @@ Result<std::vector<std::string>> parse_string_array(const Json& j, const char* w
 std::string_view protocol_name(client::Protocol p) { return client::to_string(p); }
 
 Result<client::Protocol> parse_protocol(const std::string& s) {
-  if (s == "Do53") return client::Protocol::Do53;
-  if (s == "DoT") return client::Protocol::DoT;
-  if (s == "DoH") return client::Protocol::DoH;
-  if (s == "DoQ") return client::Protocol::DoQ;
+  if (auto p = client::protocol_from_string(s); p.has_value()) return *p;
   return Err{std::string("spec: unknown protocol '") + s + "'"};
 }
 
@@ -93,10 +90,8 @@ Result<MeasurementSpec> MeasurementSpec::from_json(const Json& j) {
   if (j.at("use_http2").is_bool()) spec.query_options.use_http2 = j.at("use_http2").as_bool();
   if (j.at("reuse").is_string()) {
     const std::string& r = j.at("reuse").as_string();
-    if (r == "none") spec.query_options.reuse = transport::ReusePolicy::None;
-    else if (r == "keepalive") spec.query_options.reuse = transport::ReusePolicy::Keepalive;
-    else if (r == "ticket-resumption") {
-      spec.query_options.reuse = transport::ReusePolicy::TicketResumption;
+    if (auto policy = transport::reuse_policy_from_string(r); policy.has_value()) {
+      spec.query_options.reuse = *policy;
     } else {
       return Err{std::string("spec: unknown reuse policy '") + r + "'"};
     }
@@ -118,6 +113,11 @@ Json ResultRecord::to_json() const {
   o["ok"] = ok;
   o["response_ms"] = response_ms;
   o["connect_ms"] = connect_ms;
+  if (tcp_handshake_ms != 0) o["tcp_handshake_ms"] = tcp_handshake_ms;
+  if (tls_handshake_ms != 0) o["tls_handshake_ms"] = tls_handshake_ms;
+  if (quic_handshake_ms != 0) o["quic_handshake_ms"] = quic_handshake_ms;
+  if (pool_wait_ms != 0) o["pool_wait_ms"] = pool_wait_ms;
+  if (exchange_ms != 0) o["exchange_ms"] = exchange_ms;
   o["reused"] = connection_reused;
   if (ok) o["rcode"] = rcode;
   if (!ok) {
@@ -149,6 +149,17 @@ Result<ResultRecord> ResultRecord::from_json(const Json& j) {
   if (j.at("issued_at_ms").is_number()) r.issued_at_ms = j.at("issued_at_ms").as_number();
   if (j.at("response_ms").is_number()) r.response_ms = j.at("response_ms").as_number();
   if (j.at("connect_ms").is_number()) r.connect_ms = j.at("connect_ms").as_number();
+  if (j.at("tcp_handshake_ms").is_number()) {
+    r.tcp_handshake_ms = j.at("tcp_handshake_ms").as_number();
+  }
+  if (j.at("tls_handshake_ms").is_number()) {
+    r.tls_handshake_ms = j.at("tls_handshake_ms").as_number();
+  }
+  if (j.at("quic_handshake_ms").is_number()) {
+    r.quic_handshake_ms = j.at("quic_handshake_ms").as_number();
+  }
+  if (j.at("pool_wait_ms").is_number()) r.pool_wait_ms = j.at("pool_wait_ms").as_number();
+  if (j.at("exchange_ms").is_number()) r.exchange_ms = j.at("exchange_ms").as_number();
   if (j.at("reused").is_bool()) r.connection_reused = j.at("reused").as_bool();
   if (j.at("rcode").is_string()) r.rcode = j.at("rcode").as_string();
   if (j.at("error_class").is_string()) r.error_class = j.at("error_class").as_string();

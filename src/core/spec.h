@@ -45,6 +45,14 @@ struct ResultRecord {
   bool ok = false;
   double response_ms = 0;      // end-to-end query response time
   double connect_ms = 0;       // connection-establishment share
+  // Per-phase decomposition of the response time (QueryTiming; all zero on a
+  // reused connection except exchange_ms). Emitted to JSON only when nonzero
+  // so the output stays additive relative to older readers.
+  double tcp_handshake_ms = 0;
+  double tls_handshake_ms = 0;
+  double quic_handshake_ms = 0;
+  double pool_wait_ms = 0;
+  double exchange_ms = 0;      // request -> response on the live connection
   bool connection_reused = false;
   std::string rcode;           // "NOERROR", ... (when ok)
   std::string error_class;     // "connect-timeout", ... (when !ok)

@@ -25,4 +25,16 @@ SimWorld::Vantage& SimWorld::vantage(const std::string& id) {
   return vantages_.emplace(id, std::move(v)).first->second;
 }
 
+resolver::OdohRelay& SimWorld::odoh_relay() {
+  if (!odoh_relay_) {
+    // Colocated with the Appendix A.2 ODoH targets (New York): the relay hop
+    // still adds a full client<->relay path on top of relay<->target.
+    const geo::GeoPoint location = geo::city::kNewYork;
+    odoh_relay_ = std::make_unique<resolver::OdohRelay>(
+        *net_, "odohrelay.alekberg.net", location,
+        [this, location](std::string_view host) { return fleet_->address_for(host, location); });
+  }
+  return *odoh_relay_;
+}
+
 }  // namespace ednsm::core

@@ -10,6 +10,7 @@
 #include "geo/vantage.h"
 #include "netsim/event_queue.h"
 #include "netsim/network.h"
+#include "resolver/odoh.h"
 #include "resolver/registry.h"
 #include "transport/pool.h"
 
@@ -40,6 +41,12 @@ class SimWorld {
   // in geo::paper_vantage_points().
   [[nodiscard]] Vantage& vantage(const std::string& id);
 
+  // The shared oblivious relay for ODoH campaigns, created on first use so
+  // worlds that never measure ODoH draw no extra RNG and stay byte-identical
+  // with earlier builds. The relay resolves target hostnames through the
+  // fleet from its own location.
+  [[nodiscard]] resolver::OdohRelay& odoh_relay();
+
   // Run the simulation until no events remain; returns events executed.
   std::size_t run() { return queue_.run_until_idle(); }
 
@@ -48,6 +55,7 @@ class SimWorld {
   std::unique_ptr<netsim::Network> net_;
   std::unique_ptr<resolver::ResolverFleet> fleet_;
   std::map<std::string, Vantage> vantages_;
+  std::unique_ptr<resolver::OdohRelay> odoh_relay_;
 };
 
 }  // namespace ednsm::core

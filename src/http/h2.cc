@@ -108,6 +108,22 @@ util::Bytes H2ClientSession::serialize_request(const Request& req,
   return out;
 }
 
+void H2ClientSession::stamp_request(std::uint32_t stream_id, netsim::SimTime now) {
+  request_stamps_.emplace_back(stream_id, now);
+}
+
+netsim::SimDuration H2ClientSession::finish_exchange(std::uint32_t stream_id,
+                                                     netsim::SimTime now) {
+  for (auto it = request_stamps_.begin(); it != request_stamps_.end(); ++it) {
+    if (it->first == stream_id) {
+      const netsim::SimDuration elapsed = now - it->second;
+      request_stamps_.erase(it);
+      return elapsed;
+    }
+  }
+  return netsim::SimDuration{0};
+}
+
 void H2ClientSession::feed(std::span<const std::uint8_t> wire,
                            const ResponseHandler& on_response) {
   auto frames_r = decode_frames(wire);

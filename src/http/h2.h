@@ -63,6 +63,12 @@ class H2ClientSession {
   // Feed bytes from the server; fires the handler for each completed stream.
   void feed(std::span<const std::uint8_t> wire, const ResponseHandler& on_response);
 
+  // Exchange stamping for QueryTiming::exchange: record when the frames for
+  // `stream_id` were handed to the transport; `finish_exchange` returns the
+  // request->response duration and forgets the stamp (zero if never stamped).
+  void stamp_request(std::uint32_t stream_id, netsim::SimTime now);
+  [[nodiscard]] netsim::SimDuration finish_exchange(std::uint32_t stream_id, netsim::SimTime now);
+
  private:
   struct PendingStream {
     std::optional<Response> response;
@@ -75,6 +81,7 @@ class H2ClientSession {
   std::uint32_t next_stream_id_ = 1;
   bool preface_sent_ = false;
   std::vector<std::pair<std::uint32_t, PendingStream>> streams_;
+  std::vector<std::pair<std::uint32_t, netsim::SimTime>> request_stamps_;
 };
 
 // ---- server session ---------------------------------------------------------

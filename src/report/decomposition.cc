@@ -1,0 +1,98 @@
+#include "report/decomposition.h"
+
+#include <map>
+
+#include "stats/quantile.h"
+
+namespace ednsm::report {
+
+namespace {
+
+// Successful records for one vantage, split by whether the query rode a
+// reused connection. Vantage order follows the spec (the campaign's own
+// ordering), falling back to record order for vantages outside the spec.
+struct Population {
+  std::vector<const core::ResultRecord*> cold;
+  std::vector<const core::ResultRecord*> warm;
+};
+
+std::vector<std::pair<std::string, Population>> populations(
+    const core::CampaignResult& result) {
+  std::map<std::string, Population> by_vantage;
+  for (const core::ResultRecord& r : result.records) {
+    if (!r.ok) continue;
+    Population& p = by_vantage[r.vantage];
+    (r.connection_reused ? p.warm : p.cold).push_back(&r);
+  }
+  std::vector<std::pair<std::string, Population>> out;
+  for (const std::string& id : result.spec.vantage_ids) {
+    const auto it = by_vantage.find(id);
+    if (it == by_vantage.end()) continue;
+    out.emplace_back(it->first, std::move(it->second));
+    by_vantage.erase(it);
+  }
+  for (auto& [id, pop] : by_vantage) out.emplace_back(id, std::move(pop));
+  return out;
+}
+
+std::vector<double> collect(const std::vector<const core::ResultRecord*>& recs,
+                            double core::ResultRecord::* field) {
+  std::vector<double> out;
+  out.reserve(recs.size());
+  for (const core::ResultRecord* r : recs) out.push_back(r->*field);
+  return out;
+}
+
+void add_phase_row(Table& table, const std::string& vantage, const char* conn,
+                   const std::vector<const core::ResultRecord*>& recs) {
+  const double total = stats::median(collect(recs, &core::ResultRecord::response_ms));
+  const double exchange = stats::median(collect(recs, &core::ResultRecord::exchange_ms));
+  table.add_row(
+      {vantage, conn, std::to_string(recs.size()),
+       fmt(stats::median(collect(recs, &core::ResultRecord::tcp_handshake_ms))),
+       fmt(stats::median(collect(recs, &core::ResultRecord::tls_handshake_ms))),
+       fmt(stats::median(collect(recs, &core::ResultRecord::quic_handshake_ms))),
+       fmt(stats::median(collect(recs, &core::ResultRecord::pool_wait_ms))), fmt(exchange),
+       fmt(total - exchange), fmt(total)});
+}
+
+}  // namespace
+
+Table phase_decomposition_table(const core::CampaignResult& result) {
+  Table table({"Vantage", "Conn", "Queries", "TCP", "TLS", "QUIC", "Pool", "Exchange",
+               "Setup", "Total"});
+  for (const auto& [vantage, pop] : populations(result)) {
+    if (!pop.cold.empty()) add_phase_row(table, vantage, "cold", pop.cold);
+    if (!pop.warm.empty()) add_phase_row(table, vantage, "warm", pop.warm);
+  }
+  return table;
+}
+
+std::vector<BoxRow> cold_warm_rows(const core::CampaignResult& result) {
+  std::vector<BoxRow> rows;
+  for (const auto& [vantage, pop] : populations(result)) {
+    for (const auto& [conn, recs] :
+         {std::pair{"cold", &pop.cold}, std::pair{"warm", &pop.warm}}) {
+      if (recs->empty()) continue;
+      BoxRow row;
+      row.label = vantage + " (" + conn + ")";
+      row.response = stats::box_summary(collect(*recs, &core::ResultRecord::response_ms));
+      row.ping = stats::box_summary(collect(*recs, &core::ResultRecord::exchange_ms));
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::string render_cold_warm_figure(const core::CampaignResult& result, double max_ms) {
+  const std::string title = "Cold vs. warm response times (= full response, - exchange only)";
+  std::string out = title + "\n";
+  out.append(title.size(), '=');
+  out += "\n";
+  BoxPlotOptions options;
+  options.max_ms = max_ms;
+  out += render_boxplots(cold_warm_rows(result), options);
+  return out;
+}
+
+}  // namespace ednsm::report

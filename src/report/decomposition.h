@@ -1,0 +1,34 @@
+// Per-phase timing decomposition: where a query's milliseconds go, split by
+// connection state. The paper reports end-to-end response times; these
+// builders break them into handshake vs. resolution so the cost of a cold
+// connection (TCP + TLS or QUIC setup) is visible next to the steady-state
+// exchange time a warm, reused connection achieves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "report/boxplot.h"
+#include "report/table.h"
+
+namespace ednsm::report {
+
+// Handshake-vs-resolution table: one row per (vantage, cold|warm) with the
+// median of each timing phase over that vantage's successful records.
+// Columns: Vantage | Conn | Queries | TCP | TLS | QUIC | Pool | Exchange |
+// Setup | Total (all milliseconds; Setup = Total - Exchange). Vantages with
+// no successful records are omitted; a missing cold or warm population
+// renders "-" via Table's NaN handling.
+[[nodiscard]] Table phase_decomposition_table(const core::CampaignResult& result);
+
+// Cold-vs-warm box rows: for each vantage, a "cold" row (fresh connections)
+// and a "warm" row (reused ones), both over response_ms. The ping slot
+// carries the exchange-time distribution, so each row shows the full
+// response box over the resolution-only box it decomposes into.
+[[nodiscard]] std::vector<BoxRow> cold_warm_rows(const core::CampaignResult& result);
+
+[[nodiscard]] std::string render_cold_warm_figure(const core::CampaignResult& result,
+                                                  double max_ms = 600.0);
+
+}  // namespace ednsm::report

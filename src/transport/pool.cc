@@ -11,6 +11,14 @@ std::string_view to_string(ReusePolicy p) noexcept {
   return "?";
 }
 
+std::optional<ReusePolicy> reuse_policy_from_string(std::string_view name) noexcept {
+  for (ReusePolicy p :
+       {ReusePolicy::None, ReusePolicy::Keepalive, ReusePolicy::TicketResumption}) {
+    if (name == to_string(p)) return p;
+  }
+  return std::nullopt;
+}
+
 ConnectionPool::ConnectionPool(netsim::Network& net, netsim::IpAddr local_ip)
     : net_(net), local_ip_(local_ip) {}
 
@@ -30,7 +38,8 @@ void ConnectionPool::forget_ticket(const netsim::Endpoint& remote, const std::st
 
 void ConnectionPool::acquire(const netsim::Endpoint& remote, const std::string& sni,
                              ReusePolicy policy, util::Bytes early_data, AcquireCallback cb) {
-  const Key key{remote, sni};
+  const SessionKey key{remote, sni};
+  const netsim::SimTime acquire_started = net_.queue().now();
 
   if (policy != ReusePolicy::None) {
     const auto it = sessions_.find(key);
@@ -64,7 +73,8 @@ void ConnectionPool::acquire(const netsim::Endpoint& remote, const std::string& 
     }
   }
 
-  raw->tcp.connect([this, key, raw, mode, ticket, early_data = std::move(early_data),
+  raw->tcp.connect([this, key, raw, mode, ticket, acquire_started,
+                    early_data = std::move(early_data),
                     cb = std::move(cb)](Result<void> connected) mutable {
     if (!connected) {
       sessions_.erase(key);
@@ -73,7 +83,7 @@ void ConnectionPool::acquire(const netsim::Endpoint& remote, const std::string& 
     }
     raw->tls.handshake(
         mode, ticket, std::move(early_data),
-        [this, key, raw, mode, cb = std::move(cb)](Result<TlsHandshakeInfo> hs) {
+        [this, key, raw, mode, acquire_started, cb = std::move(cb)](Result<TlsHandshakeInfo> hs) {
           if (!hs) {
             sessions_.erase(key);
             cb(Err{hs.error()});
@@ -88,6 +98,12 @@ void ConnectionPool::acquire(const netsim::Endpoint& remote, const std::string& 
           lease.fresh = true;
           lease.mode = mode;
           lease.early_data_accepted = hs.value().early_data_accepted;
+          lease.tcp_handshake = raw->tcp.handshake_duration();
+          lease.tls_handshake = raw->tls.handshake_duration();
+          const netsim::SimDuration setup = net_.queue().now() - acquire_started;
+          const netsim::SimDuration handshakes = lease.tcp_handshake + lease.tls_handshake;
+          lease.wait_in_pool =
+              setup > handshakes ? setup - handshakes : netsim::SimDuration{0};
           cb(lease);
         });
   });

@@ -12,10 +12,10 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "transport/tcp.h"
 #include "transport/tls.h"
@@ -31,6 +31,27 @@ enum class ReusePolicy {
 
 [[nodiscard]] std::string_view to_string(ReusePolicy p) noexcept;
 
+// Inverse of to_string (exact match); nullopt for unknown names. Shared by
+// spec parsing and the CLI tools.
+[[nodiscard]] std::optional<ReusePolicy> reuse_policy_from_string(std::string_view name) noexcept;
+
+// (remote endpoint, SNI) key for per-destination session caches. All users
+// are point-access only (find/erase, never iterated), so a hashed map is
+// order-safe; the endpoint packs to one u64 (EndpointHash) and is mixed with
+// the SNI hash, following the listeners' ConnKeyHash idiom.
+struct SessionKey {
+  netsim::Endpoint remote;
+  std::string sni;
+
+  [[nodiscard]] bool operator==(const SessionKey&) const = default;
+};
+
+struct SessionKeyHash {
+  [[nodiscard]] std::size_t operator()(const SessionKey& k) const noexcept {
+    return netsim::EndpointHash{}(k.remote) ^ (std::hash<std::string>{}(k.sni) << 1);
+  }
+};
+
 class ConnectionPool {
  public:
   // A leased session: valid until release()/invalidate(). `fresh` says the
@@ -42,6 +63,12 @@ class ConnectionPool {
     bool fresh = false;
     TlsMode mode = TlsMode::Full;
     bool early_data_accepted = false;
+    // Phase breakdown of a fresh acquire (all zero on re-use): the TCP and
+    // TLS handshake round trips as stamped by the transports, plus whatever
+    // acquire time is attributable to neither (pool queueing/scheduling).
+    netsim::SimDuration tcp_handshake{0};
+    netsim::SimDuration tls_handshake{0};
+    netsim::SimDuration wait_in_pool{0};
   };
   using AcquireCallback = std::function<void(Result<Lease>)>;
 
@@ -76,13 +103,12 @@ class ConnectionPool {
             std::uint32_t conn_id, TlsClientConfig config)
         : tcp(net, local, remote, conn_id), tls(tcp, std::move(config)) {}
   };
-  using Key = std::pair<netsim::Endpoint, std::string>;
-
   netsim::Network& net_;
   netsim::IpAddr local_ip_;
   std::uint32_t next_conn_id_ = 1;
-  std::map<Key, std::unique_ptr<Session>> sessions_;
-  std::map<Key, SessionTicket> tickets_;
+  // Point access only (never iterated) — hashed, like the listener conn maps.
+  std::unordered_map<SessionKey, std::unique_ptr<Session>, SessionKeyHash> sessions_;
+  std::unordered_map<SessionKey, SessionTicket, SessionKeyHash> tickets_;
 };
 
 }  // namespace ednsm::transport

@@ -268,6 +268,7 @@ void QuicConnection::connect(TlsMode mode, std::optional<SessionTicket> ticket,
                              util::Bytes early_stream, ConnectCallback cb) {
   connect_cb_ = std::move(cb);
   mode_ = mode;
+  connect_started_ = net_.queue().now();
   if (mode != TlsMode::Full) {
     if (!ticket.has_value() || ticket->server_name != sni_) {
       auto hcb = std::move(connect_cb_);
@@ -348,6 +349,7 @@ void QuicConnection::handle_datagram(const Datagram& d) {
         return;
       }
       established_ = true;
+      handshake_duration_ = net_.queue().now() - connect_started_;
       QuicHandshakeInfo info;
       info.mode = mode_;
       info.early_data_accepted = payload.value().early_accepted;

@@ -142,6 +142,12 @@ class QuicConnection {
   [[nodiscard]] bool established() const noexcept { return established_; }
   [[nodiscard]] const QuicStats& stats() const noexcept { return core_.stats(); }
 
+  // Phase stamp: Initial sent -> ServerInitial accepted (zero until
+  // established). Feeds QueryTiming::quic_handshake.
+  [[nodiscard]] netsim::SimDuration handshake_duration() const noexcept {
+    return handshake_duration_;
+  }
+
  private:
   void handle_datagram(const netsim::Datagram& d);
   void send_packet(const QuicPacket& p);
@@ -159,6 +165,8 @@ class QuicConnection {
   std::uint64_t next_stream_id_ = 0;
   std::optional<netsim::EventQueue::EventId> initial_timer_;
   int initial_transmissions_ = 0;
+  netsim::SimTime connect_started_{0};
+  netsim::SimDuration handshake_duration_{0};
   TlsMode mode_ = TlsMode::Full;
   util::Bytes pending_early_;  // resent as a normal stream if 0-RTT is rejected
   QuicPacket pending_initial_;  // kept for Initial retransmission

@@ -179,6 +179,7 @@ void TcpConnection::send_segment(const TcpSegment& seg) {
 void TcpConnection::connect(ConnectCallback cb) {
   connect_cb_ = std::move(cb);
   state_ = State::SynSent;
+  connect_started_ = net_.queue().now();
   retransmit_syn();
 }
 
@@ -220,6 +221,7 @@ void TcpConnection::handle_datagram(const Datagram& d) {
     case TcpSegmentType::SynAck: {
       if (state_ != State::SynSent) return;  // duplicate SYNACK
       state_ = State::Established;
+      handshake_duration_ = net_.queue().now() - connect_started_;
       if (syn_timer_.has_value()) {
         net_.queue().cancel(*syn_timer_);
         syn_timer_.reset();

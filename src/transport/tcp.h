@@ -146,6 +146,15 @@ class TcpConnection {
   [[nodiscard]] const TcpStats& stats() const noexcept { return core_.stats(); }
   [[nodiscard]] std::uint32_t conn_id() const noexcept { return conn_id_; }
 
+  // Phase stamp: SYN sent -> SYNACK received (zero until established). Feeds
+  // QueryTiming::tcp_handshake through the pool lease.
+  [[nodiscard]] netsim::SimDuration handshake_duration() const noexcept {
+    return handshake_duration_;
+  }
+  // Layered protocols above TCP (TLS) stamp their own phases but have no
+  // network handle of their own; they borrow the connection's clock.
+  [[nodiscard]] netsim::EventQueue& queue() noexcept { return net_.queue(); }
+
  private:
   enum class State { Closed, SynSent, Established };
 
@@ -164,6 +173,8 @@ class TcpConnection {
   std::optional<netsim::EventQueue::EventId> syn_timer_;
   int syn_transmissions_ = 0;
   std::string pending_error_;
+  netsim::SimTime connect_started_{0};
+  netsim::SimDuration handshake_duration_{0};
 
   static constexpr netsim::SimDuration kSynRtoInitial = std::chrono::seconds(1);
   static constexpr int kMaxSynTransmissions = 3;

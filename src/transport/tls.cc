@@ -147,6 +147,7 @@ void TlsClient::handshake(TlsMode mode, std::optional<SessionTicket> ticket,
                           util::Bytes early_data, HandshakeCallback cb) {
   handshake_cb_ = std::move(cb);
   mode_ = mode;
+  handshake_started_ = conn_.queue().now();
 
   if (mode != TlsMode::Full) {
     if (!ticket.has_value() || ticket->server_name != config_.server_name) {
@@ -215,6 +216,7 @@ void TlsClient::handle_message(util::Bytes raw) {
     }
 
     established_ = true;
+    handshake_duration_ = conn_.queue().now() - handshake_started_;
     // Client Finished rides with (or just before) the first app record; send
     // it explicitly so the server-side state machine is honest.
     TlsRecord fin;

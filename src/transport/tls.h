@@ -89,6 +89,12 @@ class TlsClient {
 
   [[nodiscard]] bool established() const noexcept { return established_; }
 
+  // Phase stamp: ClientHello sent -> ServerFlight accepted (zero until
+  // established). Feeds QueryTiming::tls_handshake through the pool lease.
+  [[nodiscard]] netsim::SimDuration handshake_duration() const noexcept {
+    return handshake_duration_;
+  }
+
  private:
   void handle_message(util::Bytes raw);
 
@@ -98,6 +104,8 @@ class TlsClient {
   RecordHandler on_data_;
   TlsMode mode_ = TlsMode::Full;
   bool established_ = false;
+  netsim::SimTime handshake_started_{0};
+  netsim::SimDuration handshake_duration_{0};
   std::vector<util::Bytes> pending_data_;  // records received before on_data()
 };
 

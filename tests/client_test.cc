@@ -93,7 +93,7 @@ TEST(Clients, ProtocolLadderColdLatency) {
   ClientWorld w;
   double do53_ms = 0, dot_ms = 0, doh_ms = 0;
 
-  Do53Client do53(w.net, w.client_ip, {});
+  Do53Client do53(w.net, w.client_ip, client::QueryOptions{});
   do53.query(w.server->address(), dns::Name::parse("a.com").value(), dns::RecordType::A,
              [&](QueryOutcome o) {
                ASSERT_TRUE(o.ok);
@@ -101,7 +101,7 @@ TEST(Clients, ProtocolLadderColdLatency) {
              });
   w.queue.run_until_idle();
 
-  DotClient dot(w.net, *w.pool, {});
+  DotClient dot(w.net, *w.pool, client::QueryOptions{});
   dot.query(w.server->address(), "dns.example", dns::Name::parse("b.com").value(),
             dns::RecordType::A, [&](QueryOutcome o) {
               ASSERT_TRUE(o.ok);
@@ -109,7 +109,7 @@ TEST(Clients, ProtocolLadderColdLatency) {
             });
   w.queue.run_until_idle();
 
-  DohClient doh(w.net, *w.pool, {});
+  DohClient doh(w.net, *w.pool, client::QueryOptions{});
   doh.query(w.server->address(), "dns.example", dns::Name::parse("c.com").value(),
             dns::RecordType::A, [&](QueryOutcome o) {
               ASSERT_TRUE(o.ok);
@@ -125,7 +125,7 @@ TEST(Clients, ProtocolLadderColdLatency) {
 
 TEST(Clients, ConnectShareReportedOnColdQuery) {
   ClientWorld w;
-  DohClient doh(w.net, *w.pool, {});
+  DohClient doh(w.net, *w.pool, client::QueryOptions{});
   std::optional<QueryOutcome> out;
   doh.query(w.server->address(), "dns.example", dns::Name::parse("x.com").value(),
             dns::RecordType::A, [&](QueryOutcome o) { out = std::move(o); });
@@ -228,7 +228,7 @@ TEST(Clients, PaddingMakesQuerySizesUniform) {
 
 TEST(Clients, Do53StrayDatagramIgnored) {
   ClientWorld w;
-  Do53Client do53(w.net, w.client_ip, {});
+  Do53Client do53(w.net, w.client_ip, client::QueryOptions{});
   std::optional<QueryOutcome> out;
   do53.query(w.server->address(), dns::Name::parse("a.com").value(), dns::RecordType::A,
              [&](QueryOutcome o) { out = std::move(o); });
@@ -276,10 +276,10 @@ TEST(Clients, ConcurrentClientsOnOneHostDoNotCollide) {
       w.net, "dns2.example", resolver::AnycastSite{"Ashburn", geo::city::kAshburn},
       behavior);
 
-  client::Do53Client do53_a(w.net, w.client_ip, {});
-  client::Do53Client do53_b(w.net, w.client_ip, {});
-  client::DoqClient doq_a(w.net, w.client_ip, {});
-  client::DoqClient doq_b(w.net, w.client_ip, {});
+  client::Do53Client do53_a(w.net, w.client_ip, client::QueryOptions{});
+  client::Do53Client do53_b(w.net, w.client_ip, client::QueryOptions{});
+  client::DoqClient doq_a(w.net, w.client_ip, client::QueryOptions{});
+  client::DoqClient doq_b(w.net, w.client_ip, client::QueryOptions{});
 
   int ok = 0;
   auto count_ok = [&](client::QueryOutcome o) {

@@ -88,7 +88,7 @@ TEST(Odoh, RelayPathCostsMoreThanDirect) {
   const auto via_relay = w.ask("odoh-target.example");
   ASSERT_TRUE(via_relay.ok);
 
-  client::DohClient direct(w.net, *w.pool, {});
+  client::DohClient direct(w.net, *w.pool, client::QueryOptions{});
   std::optional<client::QueryOutcome> direct_out;
   direct.query(w.target->address(), "odoh-target.example",
                dns::Name::parse("example.com").value(), dns::RecordType::A,

@@ -4,6 +4,7 @@
 
 #include "core/campaign.h"
 #include "report/boxplot.h"
+#include "report/decomposition.h"
 #include "report/figures.h"
 #include "report/table.h"
 
@@ -174,6 +175,71 @@ TEST_F(FigureTest, MaxMedianTableHasAllVantages) {
 TEST_F(FigureTest, NonmainstreamWinnersFromSeoulIncludesAlidns) {
   const auto winners = nonmainstream_winners(result(), "ec2-seoul");
   EXPECT_NE(std::find(winners.begin(), winners.end(), "dns.alidns.com"), winners.end());
+}
+
+// ---- phase decomposition ---------------------------------------------------------
+
+// A small keepalive campaign so both connection states appear: the first
+// query of each (vantage, resolver) pair is cold, the rest ride the pooled
+// session and land in the warm population.
+class DecompositionTest : public ::testing::Test {
+ protected:
+  static const core::CampaignResult& result() {
+    static const core::CampaignResult kResult = [] {
+      core::SimWorld world(47);
+      core::MeasurementSpec spec;
+      spec.resolvers = {"dns.google", "ordns.he.net"};
+      spec.vantage_ids = {"ec2-ohio"};
+      spec.rounds = 4;
+      spec.seed = 47;
+      spec.query_options.reuse = transport::ReusePolicy::Keepalive;
+      return core::CampaignRunner(world, spec).run();
+    }();
+    return kResult;
+  }
+};
+
+TEST_F(DecompositionTest, TableSplitsColdAndWarm) {
+  const Table t = phase_decomposition_table(result());
+  ASSERT_EQ(t.rows(), 2u);  // one vantage, both connection states
+  EXPECT_EQ(t.row(0)[0], "ec2-ohio");
+  EXPECT_EQ(t.row(0)[1], "cold");
+  EXPECT_EQ(t.row(1)[1], "warm");
+  // Cold queries pay connection setup; warm ones are pure exchange, so the
+  // Setup column (Total - Exchange) is zero and Exchange equals Total.
+  EXPECT_GT(std::stod(t.row(0)[8]), 0.0);
+  EXPECT_DOUBLE_EQ(std::stod(t.row(1)[8]), 0.0);
+  EXPECT_EQ(t.row(1)[7], t.row(1)[9]);
+  // Both populations are non-empty and account for every successful record.
+  std::size_t ok_records = 0;
+  for (const core::ResultRecord& r : result().records) ok_records += r.ok ? 1 : 0;
+  EXPECT_EQ(std::stoul(t.row(0)[2]) + std::stoul(t.row(1)[2]), ok_records);
+}
+
+TEST_F(DecompositionTest, ColdWarmRowsCarryBothDistributions) {
+  const auto rows = cold_warm_rows(result());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "ec2-ohio (cold)");
+  EXPECT_EQ(rows[1].label, "ec2-ohio (warm)");
+  for (const BoxRow& r : rows) {
+    EXPECT_GT(r.response.count, 0u);
+    EXPECT_EQ(r.ping.count, r.response.count);  // exchange box over same records
+  }
+  // Cold medians sit above warm ones by at least the handshake cost.
+  EXPECT_GT(rows[0].response.median, rows[1].response.median);
+}
+
+TEST_F(DecompositionTest, RenderedFigureLabelsBothStates) {
+  const std::string fig = render_cold_warm_figure(result());
+  EXPECT_NE(fig.find("Cold vs. warm"), std::string::npos);
+  EXPECT_NE(fig.find("ec2-ohio (cold)"), std::string::npos);
+  EXPECT_NE(fig.find("ec2-ohio (warm)"), std::string::npos);
+}
+
+TEST_F(FigureTest, DecompositionTableWithoutReuseIsAllCold) {
+  const Table t = phase_decomposition_table(result());
+  ASSERT_GE(t.rows(), 3u);  // at least one row per vantage
+  for (std::size_t i = 0; i < t.rows(); ++i) EXPECT_EQ(t.row(i)[1], "cold");
 }
 
 TEST(BrowserMatrix, MatchesTable1) {

@@ -91,7 +91,7 @@ TEST(Server, AnswersDohH1GetAndPost) {
 
 TEST(Server, AnswersDotQuery) {
   ServerWorld w;
-  client::DotClient dot(w.net, *w.pool, {});
+  client::DotClient dot(w.net, *w.pool, client::QueryOptions{});
   std::optional<client::QueryOutcome> out;
   dot.query(w.server->address(), "dns.example", dns::Name::parse("example.com").value(),
             dns::RecordType::A, [&](client::QueryOutcome o) { out = std::move(o); });
@@ -104,7 +104,7 @@ TEST(Server, AnswersDotQuery) {
 
 TEST(Server, AnswersDo53Query) {
   ServerWorld w;
-  client::Do53Client do53(w.net, w.client_ip, {});
+  client::Do53Client do53(w.net, w.client_ip, client::QueryOptions{});
   std::optional<client::QueryOutcome> out;
   do53.query(w.server->address(), dns::Name::parse("example.com").value(),
              dns::RecordType::A, [&](client::QueryOutcome o) { out = std::move(o); });
@@ -120,7 +120,7 @@ TEST(Server, Do53IsFasterThanDoHCold) {
   ServerBehavior warm;
   warm.warm_cache_probability = 1.0;  // keep recursion latency out of the comparison
   ServerWorld w(warm);
-  client::Do53Client do53(w.net, w.client_ip, {});
+  client::Do53Client do53(w.net, w.client_ip, client::QueryOptions{});
   double do53_ms = 0, doh_ms = 0;
   do53.query(w.server->address(), dns::Name::parse("example.com").value(),
              dns::RecordType::A,
@@ -265,7 +265,7 @@ TEST(Server, DisabledProtocolsNotBound) {
   ServerBehavior b;
   b.supports_do53 = false;
   ServerWorld w(b);
-  client::Do53Client do53(w.net, w.client_ip, {});
+  client::Do53Client do53(w.net, w.client_ip, client::QueryOptions{});
   std::optional<client::QueryOutcome> out;
   do53.query(w.server->address(), dns::Name::parse("x.com").value(), dns::RecordType::A,
              [&](client::QueryOutcome o) { out = std::move(o); });

@@ -343,7 +343,7 @@ struct DoqWorld {
 
 TEST(DoqClient, ResolvesOverQuic) {
   DoqWorld w;
-  client::DoqClient doq(w.net, w.client_ip, {});
+  client::DoqClient doq(w.net, w.client_ip, client::QueryOptions{});
   std::optional<client::QueryOutcome> out;
   doq.query(w.server->address(), "dns.example", dns::Name::parse("example.com").value(),
             dns::RecordType::A, [&](client::QueryOutcome o) { out = std::move(o); });
@@ -357,7 +357,7 @@ TEST(DoqClient, ResolvesOverQuic) {
 
 TEST(DoqClient, ColdDoqBeatsColdDohByOneRtt) {
   DoqWorld w;
-  client::DoqClient doq(w.net, w.client_ip, {});
+  client::DoqClient doq(w.net, w.client_ip, client::QueryOptions{});
   double doq_ms = 0;
   doq.query(w.server->address(), "dns.example", dns::Name::parse("a.com").value(),
             dns::RecordType::A,
@@ -365,7 +365,7 @@ TEST(DoqClient, ColdDoqBeatsColdDohByOneRtt) {
   w.queue.run_until_idle();
 
   transport::ConnectionPool pool(w.net, w.client_ip);
-  client::DohClient doh(w.net, pool, {});
+  client::DohClient doh(w.net, pool, client::QueryOptions{});
   double doh_ms = 0;
   doh.query(w.server->address(), "dns.example", dns::Name::parse("b.com").value(),
             dns::RecordType::A,

@@ -25,6 +25,7 @@
 #include "core/json.h"
 #include "core/parallel_campaign.h"
 #include "resolver/registry.h"
+#include "stats/quantile.h"
 #include "util/strings.h"
 
 using namespace ednsm;
@@ -124,6 +125,19 @@ int main(int argc, char** argv) {
   o["error_rate"] = core::Json(result.availability.overall().error_rate());
   o["wall_ms"] = core::Json(best_wall_ms);
   o["records_per_sec"] = core::Json(records_per_sec);
+
+  // Cold/warm medians of simulated response time, keyed off the per-record
+  // reuse flag the session layer stamps. Either population can be empty
+  // (e.g. reuse=None campaigns have no warm records); its median is omitted.
+  std::vector<double> cold_ms, warm_ms;
+  for (const core::ResultRecord& r : result.records) {
+    if (!r.ok) continue;
+    (r.connection_reused ? warm_ms : cold_ms).push_back(r.response_ms);
+  }
+  o["cold_queries"] = core::Json(static_cast<double>(cold_ms.size()));
+  o["warm_queries"] = core::Json(static_cast<double>(warm_ms.size()));
+  if (!cold_ms.empty()) o["cold_median_ms"] = core::Json(stats::median(std::move(cold_ms)));
+  if (!warm_ms.empty()) o["warm_median_ms"] = core::Json(stats::median(std::move(warm_ms)));
   const core::Json summary(std::move(o));
 
   if (const auto it = options.find("out"); it != options.end()) {

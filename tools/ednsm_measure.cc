@@ -5,7 +5,7 @@
 // Usage:
 //   ednsm_measure --spec spec.json [--out results.json]
 //   ednsm_measure --resolvers dns.google,ordns.he.net --vantages ec2-ohio
-//                 [--rounds 10] [--protocol DoH|DoT|Do53|DoQ] [--seed 1]
+//                 [--rounds 10] [--protocol DoH|DoT|Do53|DoQ|ODoH] [--seed 1]
 //                 [--reuse none|keepalive|ticket-resumption]
 //                 [--domains google.com,amazon.com] [--out results.json]
 //                 [--threads N]
@@ -95,18 +95,15 @@ Result<core::MeasurementSpec> build_spec(const Args& args) {
     spec.seed = std::strtoull(seed->c_str(), nullptr, 10);
   }
   if (const std::string* protocol = args.get("protocol")) {
-    if (*protocol == "Do53") spec.protocol = client::Protocol::Do53;
-    else if (*protocol == "DoT") spec.protocol = client::Protocol::DoT;
-    else if (*protocol == "DoH") spec.protocol = client::Protocol::DoH;
-    else if (*protocol == "DoQ") spec.protocol = client::Protocol::DoQ;
-    else return Err{std::string("unknown protocol: ") + *protocol};
+    if (auto p = client::protocol_from_string(*protocol); p.has_value()) {
+      spec.protocol = *p;
+    } else {
+      return Err{std::string("unknown protocol: ") + *protocol};
+    }
   }
   if (const std::string* reuse = args.get("reuse")) {
-    if (*reuse == "none") spec.query_options.reuse = transport::ReusePolicy::None;
-    else if (*reuse == "keepalive") {
-      spec.query_options.reuse = transport::ReusePolicy::Keepalive;
-    } else if (*reuse == "ticket-resumption") {
-      spec.query_options.reuse = transport::ReusePolicy::TicketResumption;
+    if (auto p = transport::reuse_policy_from_string(*reuse); p.has_value()) {
+      spec.query_options.reuse = *p;
     } else {
       return Err{std::string("unknown reuse policy: ") + *reuse};
     }

@@ -15,6 +15,7 @@
 
 #include "core/campaign.h"
 #include "core/recommend.h"
+#include "report/decomposition.h"
 #include "report/figures.h"
 
 using namespace ednsm;
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ednsm_report <results.json> [--figure NA|EU|Asia --vantage ID]\n"
                  "       [--remote-table NA|EU|Asia --near ID --far ID] [--winners ID]\n"
-                 "       [--recommend ID]\n");
+                 "       [--recommend ID] [--decomposition table|figure]\n");
     return 1;
   }
 
@@ -115,6 +116,21 @@ int main(int argc, char** argv) {
                   alt->hostname.c_str(), alt->median_ms);
     }
     return 0;
+  }
+
+  if (options.contains("decomposition")) {
+    const std::string& mode = options["decomposition"];
+    if (mode == "table") {
+      std::printf("%s\n", report::phase_decomposition_table(result.value()).to_text().c_str());
+      return 0;
+    }
+    if (mode == "figure") {
+      std::printf("%s\n", report::render_cold_warm_figure(result.value()).c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "error: --decomposition takes 'table' or 'figure' (got %s)\n",
+                 mode.c_str());
+    return 1;
   }
 
   if (options.contains("winners")) {
