@@ -35,6 +35,8 @@ inline core::CampaignResult run_paper_campaign(const std::vector<std::string>& v
   spec.rounds = rounds;
   spec.seed = seed;
 
+  // ednsm-lint: allow(determinism-wallclock) — harness-side wall timing of
+  // the simulation; never feeds simulated results.
   const auto wall_start = std::chrono::steady_clock::now();
   core::CampaignResult result;
   if (threads <= 0) {
@@ -44,6 +46,7 @@ inline core::CampaignResult run_paper_campaign(const std::vector<std::string>& v
     result = core::run_parallel_campaign(spec, threads);
   }
   const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           // ednsm-lint: allow(determinism-wallclock) — harness wall timing
                            std::chrono::steady_clock::now() - wall_start)
                            .count();
   // One expression in day units; the old form truncated microseconds->seconds

@@ -44,7 +44,9 @@ struct QueryError {
 };
 
 struct QueryTiming {
+  // ednsm-lint: allow(phase-sum) — aggregate: the bound the phases sum under
   netsim::SimDuration total{0};    // request issued -> outcome known
+  // ednsm-lint: allow(phase-sum) — aggregate: tcp_handshake + tls_handshake
   netsim::SimDuration connect{0};  // TCP + TLS establishment (zero when reused)
   // Fine-grained phase breakdown, stamped by the transports and threaded
   // through the pool lease. All handshake phases are zero when the connection

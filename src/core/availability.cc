@@ -48,6 +48,8 @@ bool AvailabilityLedger::unresponsive_from(const std::string& vantage,
 std::vector<std::string> AvailabilityLedger::resolvers() const {
   std::vector<std::string> out;
   out.reserve(by_resolver_.size());
+  // ednsm-lint: allow(determinism-unordered-iter) — keys are collected and
+  // sorted before they escape, so the hash order never reaches the output.
   for (const auto& [sym, counts] : by_resolver_) out.push_back(hostnames_.name(sym));
   std::sort(out.begin(), out.end());
   return out;

@@ -52,6 +52,8 @@ struct CampaignResult {
   MeasurementSpec spec;
   std::vector<ResultRecord> records;
   std::vector<PingRecord> pings;
+  // ednsm-lint: allow(codec-parity) — derived: from_json rebuilds the ledger
+  // from the records array, so serializing it would duplicate state.
   AvailabilityLedger availability;
 
   // Response-time samples (ms) for successful queries of one (vantage,

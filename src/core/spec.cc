@@ -38,6 +38,9 @@ Result<void> MeasurementSpec::validate() const {
   if (round_interval <= netsim::kZeroDuration) {
     return Err{std::string("spec: round interval must be positive")};
   }
+  if (ping_timeout <= netsim::kZeroDuration) {
+    return Err{std::string("spec: ping timeout must be positive")};
+  }
   if (query_options.timeout <= netsim::kZeroDuration) {
     return Err{std::string("spec: query timeout must be positive")};
   }
@@ -53,10 +56,13 @@ Json MeasurementSpec::to_json() const {
   o["rounds"] = rounds;
   o["round_interval_s"] =
       static_cast<double>(std::chrono::duration_cast<std::chrono::seconds>(round_interval).count());
+  o["ping_timeout_ms"] = netsim::to_ms(ping_timeout);
   o["timeout_ms"] = netsim::to_ms(query_options.timeout);
   o["reuse"] = std::string(transport::to_string(query_options.reuse));
   o["use_post"] = query_options.use_post;
   o["use_http2"] = query_options.use_http2;
+  o["early_data"] = query_options.offer_early_data;
+  o["pad_block"] = static_cast<std::uint64_t>(query_options.pad_block);
   o["seed"] = seed;
   return Json(std::move(o));
 }
@@ -83,11 +89,20 @@ Result<MeasurementSpec> MeasurementSpec::from_json(const Json& j) {
     spec.round_interval =
         std::chrono::seconds(static_cast<std::int64_t>(j.at("round_interval_s").as_number()));
   }
+  if (j.at("ping_timeout_ms").is_number()) {
+    spec.ping_timeout = netsim::from_ms(j.at("ping_timeout_ms").as_number());
+  }
   if (j.at("timeout_ms").is_number()) {
     spec.query_options.timeout = netsim::from_ms(j.at("timeout_ms").as_number());
   }
   if (j.at("use_post").is_bool()) spec.query_options.use_post = j.at("use_post").as_bool();
   if (j.at("use_http2").is_bool()) spec.query_options.use_http2 = j.at("use_http2").as_bool();
+  if (j.at("early_data").is_bool()) {
+    spec.query_options.offer_early_data = j.at("early_data").as_bool();
+  }
+  if (j.at("pad_block").is_number()) {
+    spec.query_options.pad_block = static_cast<std::size_t>(j.at("pad_block").as_number());
+  }
   if (j.at("reuse").is_string()) {
     const std::string& r = j.at("reuse").as_string();
     if (auto policy = transport::reuse_policy_from_string(r); policy.has_value()) {

@@ -18,6 +18,8 @@ std::optional<GeoRecord> GeoDb::lookup(std::string_view hostname) const {
 
 std::vector<std::string> GeoDb::hostnames_in(Continent c) const {
   std::vector<std::string> out;
+  // ednsm-lint: allow(determinism-unordered-iter) — hostnames are collected
+  // and sorted before they escape, so the hash order never reaches callers.
   for (const auto& [host, rec] : records_) {
     if (rec.continent == c) out.push_back(host);
   }

@@ -14,10 +14,10 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "http/doh_media.h"
 #include "netsim/network.h"
@@ -80,7 +80,9 @@ class OdohRelay {
   netsim::IpAddr addr_;
   TargetResolver resolve_target_;
   std::unique_ptr<transport::TcpListener> listener_;
-  std::map<const transport::TcpServerConn*, std::shared_ptr<ConnState>> conns_;
+  // Hashed (never iterated): an ordered pointer key would order entries by
+  // allocation address, which differs across runs.
+  std::unordered_map<const transport::TcpServerConn*, std::shared_ptr<ConnState>> conns_;
   // The relay's own upstream connections to targets (reused across clients —
   // this reuse is why production ODoH adds less than 2x the direct latency).
   std::unique_ptr<transport::ConnectionPool> upstream_pool_;

@@ -13,9 +13,9 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "dns/message.h"
 #include "http/doh_media.h"
@@ -156,9 +156,10 @@ class ResolverServer {
   std::unique_ptr<transport::QuicListener> doq_listener_;
   // shared_ptr so deferred responses can hold weak references: a query answer
   // scheduled behind a recursion stall must not touch a connection the client
-  // already tore down.
-  std::map<const transport::TcpServerConn*, std::shared_ptr<DotConnState>> dot_conns_;
-  std::map<const transport::TcpServerConn*, std::shared_ptr<DohConnState>> doh_conns_;
+  // already tore down. Hashed (never iterated): an ordered pointer key would
+  // order entries by allocation address, which differs across runs.
+  std::unordered_map<const transport::TcpServerConn*, std::shared_ptr<DotConnState>> dot_conns_;
+  std::unordered_map<const transport::TcpServerConn*, std::shared_ptr<DohConnState>> doh_conns_;
 };
 
 // DoT framing helpers (RFC 7858 §3.3): 2-byte length prefix per message.

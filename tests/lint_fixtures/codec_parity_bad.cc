@@ -1,0 +1,30 @@
+// Fixture: `dropped_field` is declared on the struct but only the reader
+// references it, so a write -> read round trip silently loses it.
+// Expected: codec-parity (dropped_field missing from to_json).
+#include <string>
+
+namespace demo {
+
+struct Json;
+struct Record {
+  std::string kept;
+  int dropped_field = 0;
+
+  Json to_json() const;
+  static Record from_json(const Json& j);
+};
+
+Json Record::to_json() const {
+  Json o = make_object();
+  o["kept"] = kept;
+  return o;
+}
+
+Record Record::from_json(const Json& j) {
+  Record r;
+  r.kept = j.at("kept").as_string();
+  r.dropped_field = static_cast<int>(j.at("dropped_field").as_number());
+  return r;
+}
+
+}  // namespace demo

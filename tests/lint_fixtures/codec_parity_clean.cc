@@ -1,0 +1,34 @@
+// Fixture: every field appears in both codec halves; derived fields carry a
+// suppression. Expected: no diagnostics.
+#include <string>
+#include <vector>
+
+namespace demo {
+
+struct Json;
+struct Record {
+  std::string kept;
+  int count = 0;
+  // ednsm-lint: allow(codec-parity) — derived: rebuilt from `kept` on read
+  std::vector<std::string> cache;
+
+  Json to_json() const;
+  static Record from_json(const Json& j);
+};
+
+Json Record::to_json() const {
+  Json o = make_object();
+  o["kept"] = kept;
+  o["count"] = count;
+  return o;
+}
+
+Record Record::from_json(const Json& j) {
+  Record r;
+  r.kept = j.at("kept").as_string();
+  r.count = static_cast<int>(j.at("count").as_number());
+  r.cache.push_back(r.kept);
+  return r;
+}
+
+}  // namespace demo

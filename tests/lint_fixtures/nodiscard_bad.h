@@ -1,0 +1,28 @@
+// Fixture: Result-returning declarations without [[nodiscard]].
+// Expected: hygiene-nodiscard-result x2 (free function and member); the
+// annotated one, the friend declaration, and the callback alias are clean.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace demo {
+
+template <typename T>
+class Result;
+
+Result<int> parse_widget(const std::string& s);
+
+[[nodiscard]] Result<int> parse_gadget(const std::string& s);
+
+class Codec {
+ public:
+  Result<std::string> decode(const std::string& wire);
+  [[nodiscard]] static Result<Codec> create();
+  using Callback = std::function<void(Result<int>)>;
+
+ private:
+  friend Result<Codec> reparse(const std::string& s);
+};
+
+}  // namespace demo

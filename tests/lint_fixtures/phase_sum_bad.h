@@ -1,0 +1,21 @@
+// Fixture: `new_phase` is a SimDuration member that phase_sum() does not
+// include, breaking the additive phase-timing invariant. `total` carries the
+// aggregate suppression the real QueryTiming uses.
+// Expected: phase-sum (new_phase only).
+#pragma once
+
+namespace demo {
+
+using SimDuration = long long;
+
+struct QueryTiming {
+  // ednsm-lint: allow(phase-sum) — aggregate: the bound the phases sum under
+  SimDuration total{0};
+  SimDuration tcp_handshake{0};
+  SimDuration exchange{0};
+  SimDuration new_phase{0};
+
+  SimDuration phase_sum() const { return tcp_handshake + exchange; }
+};
+
+}  // namespace demo

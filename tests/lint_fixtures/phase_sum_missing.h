@@ -1,0 +1,14 @@
+// Fixture: a QueryTiming struct with SimDuration phase members but no
+// phase_sum() at all. Expected: phase-sum (at the struct).
+#pragma once
+
+namespace demo {
+
+using SimDuration = long long;
+
+struct QueryTiming {
+  SimDuration total{0};
+  SimDuration tcp_handshake{0};
+};
+
+}  // namespace demo

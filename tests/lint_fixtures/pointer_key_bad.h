@@ -1,0 +1,19 @@
+// Fixture: ordered containers keyed by pointers order entries by allocation
+// address. Expected: determinism-pointer-key x2 (map and set).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace demo {
+
+struct Conn;
+
+class ConnRegistry {
+ private:
+  std::map<const Conn*, std::shared_ptr<int>> conns_;
+  std::set<Conn*> live_;
+};
+
+}  // namespace demo

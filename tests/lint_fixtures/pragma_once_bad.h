@@ -1,0 +1,8 @@
+// Fixture: header with neither #pragma once nor an include guard.
+// Expected: hygiene-pragma-once.
+
+namespace demo {
+
+int answer();
+
+}  // namespace demo

@@ -1,0 +1,33 @@
+// Fixture: the same iteration with suppressions (same-line and line-above)
+// must produce no diagnostics.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace demo {
+
+class Table {
+ public:
+  std::vector<std::string> keys() const;
+
+ private:
+  std::unordered_map<std::string, int> counts_;
+};
+
+std::vector<std::string> Table::keys() const {
+  std::vector<std::string> out;
+  // ednsm-lint: allow(determinism-unordered-iter) — collected then sorted
+  for (const auto& [key, value] : counts_) {
+    (void)value;
+    out.push_back(key);
+  }
+  for (const auto& [key, value] : counts_) {  // ednsm-lint: allow(determinism-unordered-iter) — sorted below
+    (void)key;
+    (void)value;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace demo

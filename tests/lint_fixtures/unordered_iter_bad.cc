@@ -1,0 +1,30 @@
+// Fixture: range-for over an unordered_map member leaks hash order.
+// Expected: determinism-unordered-iter (twice: range-for and begin() walk).
+#include <string>
+#include <unordered_map>
+
+namespace demo {
+
+class Table {
+ public:
+  void emit() const;
+  void walk() const;
+
+ private:
+  std::unordered_map<std::string, int> counts_;
+};
+
+void Table::emit() const {
+  for (const auto& [key, value] : counts_) {
+    (void)key;
+    (void)value;
+  }
+}
+
+void Table::walk() const {
+  for (auto it = counts_.begin(); it != counts_.end(); ++it) {
+    (void)it;
+  }
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// Fixture: using namespace at header scope.
+// Expected: hygiene-using-namespace.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+namespace demo {
+
+inline string greet() { return "hi"; }
+
+}  // namespace demo

@@ -1,0 +1,21 @@
+// Fixture: ambient wall-clock and randomness calls outside netsim.
+// Expected: determinism-wallclock x5 (system_clock::now, srand, rand, time,
+// random_device).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace demo {
+
+double jittered_now_ms() {
+  const auto wall = std::chrono::system_clock::now();
+  std::srand(42);
+  const int jitter = std::rand();
+  const auto stamp = time(nullptr);
+  std::random_device rd;
+  return static_cast<double>(jitter + stamp + static_cast<long>(rd())) +
+         std::chrono::duration<double, std::milli>(wall.time_since_epoch()).count();
+}
+
+}  // namespace demo

@@ -1,0 +1,264 @@
+// ednsm_lint test suite: fixture-driven rule coverage plus tree-level
+// guarantees. Three layers:
+//   1. Every rule ID has at least one known-bad fixture that triggers it and
+//      the suppression syntax silences it.
+//   2. The real tree (src/, tools/, bench/) is lint-clean.
+//   3. Mutation checks: deliberately removing a JSON codec field, or adding
+//      an unsorted unordered_map emission, makes lint fail — the acceptance
+//      bar for the codec-parity and determinism rules staying alive.
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using ednsm::lint::Diagnostic;
+using ednsm::lint::SourceFile;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+// Lint a single fixture in isolation under its on-disk name (the extension
+// drives the header-only rules).
+std::vector<Diagnostic> lint_fixture(const std::string& name) {
+  const std::string path = std::string(EDNSM_LINT_FIXTURE_DIR) + "/" + name;
+  return ednsm::lint::run_lint({SourceFile{name, read_file(path)}});
+}
+
+std::multiset<std::string> rule_ids(const std::vector<Diagnostic>& diags) {
+  std::multiset<std::string> out;
+  for (const Diagnostic& d : diags) out.insert(d.rule);
+  return out;
+}
+
+std::string dump(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) out += ednsm::lint::format(d) + "\n";
+  return out;
+}
+
+TEST(LintFixtures, UnorderedIterBad) {
+  const auto diags = lint_fixture("unordered_iter_bad.cc");
+  EXPECT_EQ(rule_ids(diags),
+            (std::multiset<std::string>{"determinism-unordered-iter",
+                                        "determinism-unordered-iter"}))
+      << dump(diags);
+}
+
+TEST(LintFixtures, UnorderedIterSuppressed) {
+  const auto diags = lint_fixture("unordered_iter_allowed.cc");
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+TEST(LintFixtures, WallclockBad) {
+  const auto diags = lint_fixture("wallclock_bad.cc");
+  EXPECT_EQ(rule_ids(diags).count("determinism-wallclock"), 5u) << dump(diags);
+  EXPECT_EQ(diags.size(), 5u) << dump(diags);
+}
+
+TEST(LintFixtures, PointerKeyBad) {
+  const auto diags = lint_fixture("pointer_key_bad.h");
+  EXPECT_EQ(rule_ids(diags),
+            (std::multiset<std::string>{"determinism-pointer-key", "determinism-pointer-key"}))
+      << dump(diags);
+}
+
+TEST(LintFixtures, CodecParityBad) {
+  const auto diags = lint_fixture("codec_parity_bad.cc");
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_EQ(diags[0].rule, "codec-parity");
+  EXPECT_NE(diags[0].message.find("dropped_field"), std::string::npos) << diags[0].message;
+  EXPECT_NE(diags[0].message.find("to_json"), std::string::npos) << diags[0].message;
+}
+
+TEST(LintFixtures, CodecParityClean) {
+  const auto diags = lint_fixture("codec_parity_clean.cc");
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+TEST(LintFixtures, PhaseSumBad) {
+  const auto diags = lint_fixture("phase_sum_bad.h");
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_EQ(diags[0].rule, "phase-sum");
+  EXPECT_NE(diags[0].message.find("new_phase"), std::string::npos) << diags[0].message;
+}
+
+TEST(LintFixtures, PhaseSumMissingEntirely) {
+  const auto diags = lint_fixture("phase_sum_missing.h");
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_EQ(diags[0].rule, "phase-sum");
+  EXPECT_NE(diags[0].message.find("QueryTiming"), std::string::npos) << diags[0].message;
+}
+
+TEST(LintFixtures, PragmaOnceBad) {
+  const auto diags = lint_fixture("pragma_once_bad.h");
+  EXPECT_EQ(rule_ids(diags), (std::multiset<std::string>{"hygiene-pragma-once"})) << dump(diags);
+}
+
+TEST(LintFixtures, UsingNamespaceBad) {
+  const auto diags = lint_fixture("using_namespace_bad.h");
+  EXPECT_EQ(rule_ids(diags), (std::multiset<std::string>{"hygiene-using-namespace"}))
+      << dump(diags);
+}
+
+TEST(LintFixtures, NodiscardResultBad) {
+  const auto diags = lint_fixture("nodiscard_bad.h");
+  EXPECT_EQ(rule_ids(diags),
+            (std::multiset<std::string>{"hygiene-nodiscard-result", "hygiene-nodiscard-result"}))
+      << dump(diags);
+  for (const Diagnostic& d : diags) {
+    EXPECT_TRUE(d.message.find("parse_widget") != std::string::npos ||
+                d.message.find("decode") != std::string::npos)
+        << d.message;
+  }
+}
+
+// Every advertised rule ID is exercised by at least one bad fixture above.
+TEST(LintFixtures, EveryRuleCovered) {
+  const std::vector<std::string> bad_fixtures = {
+      "unordered_iter_bad.cc", "wallclock_bad.cc",     "pointer_key_bad.h",
+      "codec_parity_bad.cc",   "phase_sum_bad.h",      "phase_sum_missing.h",
+      "pragma_once_bad.h",     "using_namespace_bad.h", "nodiscard_bad.h",
+  };
+  std::set<std::string> triggered;
+  for (const std::string& name : bad_fixtures) {
+    for (const Diagnostic& d : lint_fixture(name)) triggered.insert(d.rule);
+  }
+  for (const ednsm::lint::RuleInfo& r : ednsm::lint::rules()) {
+    EXPECT_EQ(triggered.count(std::string(r.id)), 1u)
+        << "rule has no triggering fixture: " << r.id;
+  }
+}
+
+// Diagnostics are sorted and stable, so CI output diffs cleanly.
+TEST(LintFixtures, DiagnosticsSorted) {
+  std::vector<SourceFile> files;
+  for (const char* name : {"wallclock_bad.cc", "pragma_once_bad.h", "unordered_iter_bad.cc"}) {
+    files.push_back(SourceFile{name, read_file(std::string(EDNSM_LINT_FIXTURE_DIR) + "/" + name)});
+  }
+  const auto diags = ednsm::lint::run_lint(files);
+  ASSERT_GE(diags.size(), 3u);
+  const bool sorted = std::is_sorted(
+      diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+        return std::tie(a.path, a.line) <= std::tie(b.path, b.line);
+      });
+  EXPECT_TRUE(sorted) << dump(diags);
+}
+
+// ---------------------------------------------------------------------------
+// Tree-level guarantees over the real sources.
+// ---------------------------------------------------------------------------
+
+std::vector<SourceFile> load_repo_tree() {
+  return ednsm::lint::load_tree({std::string(EDNSM_SOURCE_DIR) + "/src",
+                                 std::string(EDNSM_SOURCE_DIR) + "/tools",
+                                 std::string(EDNSM_SOURCE_DIR) + "/bench"});
+}
+
+TEST(LintTree, CleanTree) {
+  const auto files = load_repo_tree();
+  ASSERT_GT(files.size(), 100u) << "tree scan found suspiciously few files";
+  const auto diags = ednsm::lint::run_lint(files);
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+// Removing a field from the ResultRecord JSON writer must trip codec-parity:
+// this is what makes "add a field without round-trip support" fail CI.
+TEST(LintTree, RemovingCodecWriterFieldFails) {
+  auto files = load_repo_tree();
+  bool mutated = false;
+  for (SourceFile& f : files) {
+    if (!f.path.ends_with("core/spec.cc")) continue;
+    const std::size_t pos = f.content.find("o[\"connect_ms\"] = connect_ms;");
+    ASSERT_NE(pos, std::string::npos) << "writer line not found in core/spec.cc";
+    f.content.erase(pos, std::string("o[\"connect_ms\"] = connect_ms;").size());
+    mutated = true;
+  }
+  ASSERT_TRUE(mutated);
+  const auto diags = ednsm::lint::run_lint(files);
+  const bool found = std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.rule == "codec-parity" && d.message.find("connect_ms") != std::string::npos;
+  });
+  EXPECT_TRUE(found) << dump(diags);
+}
+
+// Dropping a reader clause must trip codec-parity the same way.
+TEST(LintTree, RemovingCodecReaderFieldFails) {
+  auto files = load_repo_tree();
+  bool mutated = false;
+  for (SourceFile& f : files) {
+    if (!f.path.ends_with("core/spec.cc")) continue;
+    const std::string line = "if (j.at(\"rtt_ms\").is_number()) p.rtt_ms = j.at(\"rtt_ms\").as_number();";
+    const std::size_t pos = f.content.find(line);
+    ASSERT_NE(pos, std::string::npos) << "reader line not found in core/spec.cc";
+    f.content.erase(pos, line.size());
+    mutated = true;
+  }
+  ASSERT_TRUE(mutated);
+  const auto diags = ednsm::lint::run_lint(files);
+  const bool found = std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.rule == "codec-parity" && d.message.find("rtt_ms") != std::string::npos;
+  });
+  EXPECT_TRUE(found) << dump(diags);
+}
+
+// Adding an unsorted unordered_map emission loop must trip the determinism
+// rule.
+TEST(LintTree, UnsortedUnorderedEmissionFails) {
+  auto files = load_repo_tree();
+  bool mutated = false;
+  for (SourceFile& f : files) {
+    if (!f.path.ends_with("core/availability.cc")) continue;
+    f.content +=
+        "\nnamespace ednsm::core {\n"
+        "std::vector<std::string> AvailabilityLedger::debug_resolvers() const {\n"
+        "  std::vector<std::string> out;\n"
+        "  for (const auto& [sym, counts] : by_resolver_) out.push_back(hostnames_.name(sym));\n"
+        "  return out;\n"
+        "}\n"
+        "}  // namespace ednsm::core\n";
+    mutated = true;
+  }
+  ASSERT_TRUE(mutated);
+  const auto diags = ednsm::lint::run_lint(files);
+  const bool found = std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.rule == "determinism-unordered-iter" &&
+           d.message.find("by_resolver_") != std::string::npos;
+  });
+  EXPECT_TRUE(found) << dump(diags);
+}
+
+// Adding a new SimDuration phase member without extending phase_sum() must
+// trip the phase-timing rule.
+TEST(LintTree, NewPhaseMemberOutsidePhaseSumFails) {
+  auto files = load_repo_tree();
+  bool mutated = false;
+  for (SourceFile& f : files) {
+    if (!f.path.ends_with("client/query.h")) continue;
+    const std::string anchor = "netsim::SimDuration exchange{0};";
+    const std::size_t pos = f.content.find(anchor);
+    ASSERT_NE(pos, std::string::npos);
+    f.content.insert(pos, "netsim::SimDuration retry_backoff{0};\n  ");
+    mutated = true;
+  }
+  ASSERT_TRUE(mutated);
+  const auto diags = ednsm::lint::run_lint(files);
+  const bool found = std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.rule == "phase-sum" && d.message.find("retry_backoff") != std::string::npos;
+  });
+  EXPECT_TRUE(found) << dump(diags);
+}
+
+}  // namespace

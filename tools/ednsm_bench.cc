@@ -94,6 +94,8 @@ int main(int argc, char** argv) {
   core::CampaignResult result;
   double best_wall_ms = 0.0;
   for (int run = 0; run < repeat; ++run) {
+    // ednsm-lint: allow(determinism-wallclock) — harness-side wall timing of
+    // the simulation; never feeds simulated results.
     const auto start = std::chrono::steady_clock::now();
     if (threads <= 0) {
       core::SimWorld world(seed);
@@ -102,6 +104,7 @@ int main(int argc, char** argv) {
       result = core::run_parallel_campaign(spec, threads);
     }
     const double wall_ms =
+        // ednsm-lint: allow(determinism-wallclock) — harness wall timing
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();
     if (run == 0 || wall_ms < best_wall_ms) best_wall_ms = wall_ms;

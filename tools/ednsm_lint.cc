@@ -1,0 +1,81 @@
+// ednsm_lint CLI: run the project-invariant static analyzer over source
+// roots (default: src tools bench, resolved against the current directory)
+// and exit nonzero when any unsuppressed violation remains.
+//
+//   ednsm_lint                   # lint src/, tools/, bench/ under $PWD
+//   ednsm_lint path/to/src ...   # explicit roots (files or directories)
+//   ednsm_lint --list-rules      # print the rule table and exit
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: ednsm_lint [--list-rules] [root...]\n"
+               "Roots may be directories (scanned recursively for .h/.hpp/.cc/.cpp)\n"
+               "or single files; default roots are src, tools, and bench.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const ednsm::lint::RuleInfo& r : ednsm::lint::rules()) {
+        std::cout << r.id << ": " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      return usage();
+    }
+    if (argv[i][0] == '-') {
+      std::cerr << "ednsm_lint: unknown option '" << argv[i] << "'\n";
+      return usage();
+    }
+    roots.emplace_back(argv[i]);
+  }
+  if (roots.empty()) roots = {"src", "tools", "bench"};
+
+  std::vector<ednsm::lint::SourceFile> files;
+  for (const std::string& root : roots) {
+    if (std::filesystem::is_regular_file(root)) {
+      std::ifstream in(root, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      files.push_back({root, std::move(buf).str()});
+    } else if (std::filesystem::is_directory(root)) {
+      for (ednsm::lint::SourceFile& f : ednsm::lint::load_tree({root})) {
+        files.push_back(std::move(f));
+      }
+    } else {
+      std::cerr << "ednsm_lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "ednsm_lint: no source files found under the given roots\n";
+    return 2;
+  }
+
+  const std::vector<ednsm::lint::Diagnostic> diags = ednsm::lint::run_lint(files);
+  for (const ednsm::lint::Diagnostic& d : diags) {
+    std::cout << ednsm::lint::format(d) << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << "ednsm_lint: " << diags.size() << " violation" << (diags.size() == 1 ? "" : "s")
+              << " in " << files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "ednsm_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// ednsm_lint — project-invariant static analyzer for the ednsm tree.
+//
+// The compiler cannot see the invariants the reproduction's headline claims
+// rest on: sharded campaigns must stay byte-identical for any --threads N,
+// QueryTiming::phase_sum() <= total must hold additively through every codec,
+// and every serialized field must survive a JSON round trip. This tool is a
+// token/AST-lite scanner over src/, tools/, and bench/ that enforces those
+// invariants as named, suppressible rules (see kRules in lint.cc and the
+// "Static analysis" section of DESIGN.md).
+//
+// Suppression: a comment `// ednsm-lint: allow(rule-id)` (or
+// `allow(rule-a, rule-b)`) on the violating line or the line directly above
+// silences the named rules for that line. Suppressions are expected to carry
+// a rationale in the rest of the comment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ednsm::lint {
+
+// One lint finding, attributed to a file:line and a stable rule ID.
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  [[nodiscard]] bool operator==(const Diagnostic&) const = default;
+};
+
+// A source file handed to the analyzer. `path` is used for diagnostics and
+// for path-keyed rule behavior (header-only rules key off the extension;
+// the wall-clock rule exempts the netsim clock layer), so tests may pass
+// synthetic paths with fixture content.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+// The stable rule table (IDs + one-line summaries), in reporting order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+// Run every rule over the file set. Cross-file rules (codec parity,
+// unordered-container harvesting) see the whole set at once, so callers
+// should pass a complete tree, not one file at a time, when they want
+// tree-level guarantees. Returned diagnostics are sorted by
+// (path, line, rule) and exclude suppressed findings.
+[[nodiscard]] std::vector<Diagnostic> run_lint(const std::vector<SourceFile>& files);
+
+// Recursively collect *.h / *.hpp / *.cc / *.cpp under each root,
+// lexicographically sorted for deterministic diagnostics.
+[[nodiscard]] std::vector<SourceFile> load_tree(const std::vector<std::string>& roots);
+
+// "path:line: error: [rule-id] message"
+[[nodiscard]] std::string format(const Diagnostic& d);
+
+}  // namespace ednsm::lint
