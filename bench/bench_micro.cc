@@ -17,6 +17,7 @@
 #include "http/hpack.h"
 #include "netsim/path.h"
 #include "netsim/rng.h"
+#include "obs/trace.h"
 #include "resolver/cache.h"
 #include "resolver/server.h"
 #include "resolver/upstream.h"
@@ -228,6 +229,34 @@ void BM_CampaignRound(benchmark::State& state) {
                           static_cast<std::int64_t>(spec.resolvers.size()));
 }
 BENCHMARK(BM_CampaignRound);
+
+void BM_TraceOverheadOnOff(benchmark::State& state) {
+  // Same round as BM_CampaignRound, with the observability tracer disabled
+  // (Arg(0)) or enabled (Arg(1)). The Arg(0) lane should match
+  // BM_CampaignRound within noise — that is the "no measurable overhead when
+  // off" budget — and the Arg(0)/Arg(1) gap is the cost of recording spans.
+  const bool traced = state.range(0) == 1;
+  core::MeasurementSpec spec;
+  for (const auto& s : resolver::paper_resolver_list()) spec.resolvers.push_back(s.hostname);
+  spec.vantage_ids = {"ec2-ohio"};
+  spec.rounds = 1;
+  spec.seed = 7;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::SimWorld world(spec.seed);
+    if (traced) world.tracer().enable();
+    core::CampaignResult result = core::CampaignRunner(world, spec).run();
+    benchmark::DoNotOptimize(result.records.size());
+    if (traced) events += world.tracer().emitted();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spec.resolvers.size()));
+  if (traced && state.iterations() > 0) {
+    state.counters["trace_events"] =
+        static_cast<double>(events) / static_cast<double>(state.iterations());
+  }
+}
+BENCHMARK(BM_TraceOverheadOnOff)->Arg(0)->Arg(1);
 
 void BM_DohQueryColdVsWarm(benchmark::State& state) {
   // One simulated DoH query end-to-end through the session layer. Arg(0):

@@ -1,5 +1,7 @@
 #include "client/do53.h"
 
+#include "obs/trace.h"
+
 namespace ednsm::client {
 
 namespace {
@@ -81,6 +83,8 @@ void Do53Client::query(netsim::IpAddr server, const dns::Name& qname, dns::Recor
     if (!state->guard->fire()) return;
     // No connection phases on UDP: the whole query is one exchange.
     outcome.timing.exchange = state->owner->net_.queue().now() - state->started;
+    OBS_COMPLETE(state->owner->net_.queue(), "client", "do53-exchange", state->started,
+                 outcome.timing.exchange);
     finish(std::move(outcome));
   });
 

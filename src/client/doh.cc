@@ -1,6 +1,7 @@
 #include "client/doh.h"
 
 #include "http/doh_media.h"
+#include "obs/trace.h"
 
 namespace ednsm::client {
 
@@ -131,6 +132,7 @@ void DohClient::query(netsim::IpAddr server, const std::string& sni, const dns::
             ex.response_received = net_.queue().now();
             QueryTiming t = timing;
             t.exchange = ex.elapsed();
+            OBS_COMPLETE(net_.queue(), "http", "h1-exchange", ex.request_sent, t.exchange);
             complete(t, http::Response::decode(data));
           });
           if (!l.early_data_accepted) l.tls->send(request.encode());
@@ -154,6 +156,8 @@ void DohClient::query(netsim::IpAddr server, const std::string& sni, const dns::
             if (sid != stream_id) return;  // a stale stream's frames
             QueryTiming t = timing;
             t.exchange = h2->session.finish_exchange(sid, net_.queue().now());
+            OBS_COMPLETE(net_.queue(), "http", "h2-exchange",
+                         net_.queue().now() - t.exchange, t.exchange);
             complete(t, std::move(resp));
           });
         });

@@ -1,5 +1,6 @@
 #include "client/doq.h"
 
+#include "obs/trace.h"
 #include "resolver/server.h"  // dot_frame / dot_unframe (shared with RFC 9250)
 
 namespace ednsm::client {
@@ -70,6 +71,8 @@ void DoqClient::query(netsim::IpAddr server, const std::string& sni, const dns::
       QueryOutcome outcome;
       outcome.timing = timing;
       outcome.timing.exchange = net_.queue().now() - sent_at;
+      OBS_COMPLETE(net_.queue(), "client", "doq-exchange", sent_at,
+                   outcome.timing.exchange);
       if (!messages || messages.value().empty()) {
         if (!state->guard->fire()) return;
         outcome.error = QueryError{QueryErrorClass::Malformed, "doq: bad framing"};

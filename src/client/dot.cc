@@ -1,5 +1,6 @@
 #include "client/dot.h"
 
+#include "obs/trace.h"
 #include "resolver/server.h"  // dot_frame / dot_unframe
 
 namespace ednsm::client {
@@ -80,6 +81,8 @@ void DotClient::query(netsim::IpAddr server, const std::string& sni, const dns::
           QueryOutcome outcome;
           outcome.timing = timing;
           outcome.timing.exchange = net_.queue().now() - sent_at;
+          OBS_COMPLETE(net_.queue(), "client", "dot-exchange", sent_at,
+                       outcome.timing.exchange);
           if (!messages) {
             if (!state->guard || !state->guard->fire()) return;
             outcome.error = QueryError{QueryErrorClass::Malformed, messages.error()};

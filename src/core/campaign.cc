@@ -1,6 +1,8 @@
 #include "core/campaign.h"
 
 #include <ostream>
+
+#include "obs/trace.h"
 #include <stdexcept>
 
 namespace ednsm::core {
@@ -134,6 +136,7 @@ CampaignResult CampaignRunner::run() {
       const std::string vantage_id = spec_.vantage_ids[vi];
       const netsim::SimTime start = base + scheduler.round_start(round, vi);
       world_.queue().schedule_at(start, [this, &result, vantage_id, round] {
+        OBS_SPAN(world_.queue(), "core", "round-dispatch");
         for (const std::string& hostname : spec_.resolvers) {
           PingProbe::run(world_, vantage_id, hostname, spec_.ping_timeout, round,
                          [&result](PingRecord rec) { result.pings.push_back(std::move(rec)); });

@@ -69,7 +69,42 @@ std::vector<std::uint64_t> shard_seeds(std::uint64_t spec_seed, std::size_t n) {
   return seeds;
 }
 
+void collect_result_metrics(const CampaignResult& result, obs::Metrics& m) {
+  const obs::Metrics::Key response_ms = m.distribution_key("campaign.response_ms");
+  const obs::Metrics::Key exchange_ms = m.distribution_key("campaign.exchange_ms");
+  const obs::Metrics::Key ping_rtt_ms = m.distribution_key("campaign.ping_rtt_ms");
+  for (const ResultRecord& r : result.records) {
+    m.add("campaign.records");
+    if (r.ok) {
+      m.add("campaign.records_ok");
+      m.observe(response_ms, r.response_ms);
+      m.observe(exchange_ms, r.exchange_ms);
+      if (r.connection_reused) m.add("campaign.records_reused_connection");
+    } else {
+      m.add("campaign.records_failed");
+      const std::string stage = r.failure_stage.empty()
+                                    ? std::string(derive_failure_stage(r.error_class))
+                                    : r.failure_stage;
+      m.add("campaign.failure_stage." + (stage.empty() ? std::string("unknown") : stage));
+      if (!r.error_class.empty()) m.add("campaign.error_class." + r.error_class);
+    }
+  }
+  for (const PingRecord& p : result.pings) {
+    m.add("campaign.pings");
+    if (p.ok) {
+      m.add("campaign.pings_ok");
+      m.observe(ping_rtt_ms, p.rtt_ms);
+    }
+  }
+}
+
 CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads) {
+  return run_parallel_campaign(spec, threads, CampaignObsOptions{}, nullptr);
+}
+
+CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads,
+                                     const CampaignObsOptions& obs_options,
+                                     CampaignObsData* obs_out) {
   if (auto v = spec.validate(); !v) {
     throw std::invalid_argument("run_parallel_campaign: invalid spec: " + v.error());
   }
@@ -77,14 +112,32 @@ CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads) {
   const std::size_t shards = spec.vantage_ids.size();
   const std::vector<std::uint64_t> seeds = shard_seeds(spec.seed, shards);
   std::vector<CampaignResult> shard_results(shards);
+  const bool want_trace = obs_out != nullptr && obs_options.trace;
+  const bool want_metrics = obs_out != nullptr && obs_options.metrics;
+  std::vector<obs::TraceData> shard_traces(want_trace ? shards : 0);
+  std::vector<obs::Metrics> shard_metrics(want_metrics ? shards : 0);
 
   for_each_shard(shards, threads, [&](std::size_t i) {
     MeasurementSpec shard_spec = spec;
     shard_spec.vantage_ids = {spec.vantage_ids[i]};
     shard_spec.seed = seeds[i];
     SimWorld world(shard_spec.seed);
+    if (want_trace) world.tracer().enable(obs_options.trace_capacity);
     shard_results[i] = CampaignRunner(world, shard_spec).run();
+    if (want_trace) shard_traces[i] = world.tracer().drain();
+    if (want_metrics) world.collect_metrics(shard_metrics[i]);
   });
+
+  // Shards merge in spec vantage order regardless of which worker ran them,
+  // so the exported trace and metrics are thread-count independent.
+  if (want_trace) {
+    for (std::size_t i = 0; i < shards; ++i) {
+      obs_out->trace.add_shard("vantage/" + spec.vantage_ids[i], std::move(shard_traces[i]));
+    }
+  }
+  if (want_metrics) {
+    for (const obs::Metrics& m : shard_metrics) obs_out->metrics.merge(m);
+  }
 
   CampaignResult merged;
   merged.spec = spec;
@@ -116,6 +169,7 @@ CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads) {
       for (PingRecord& p : pngs) merged.pings.push_back(std::move(p));
     }
   }
+  if (want_metrics) collect_result_metrics(merged, obs_out->metrics);
   return merged;
 }
 

@@ -15,8 +15,32 @@
 #pragma once
 
 #include "core/campaign.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ednsm::core {
+
+// What to observe during a sharded campaign. Everything defaults off, so the
+// plain overloads keep their exact legacy behavior (and cost).
+struct CampaignObsOptions {
+  bool trace = false;  // enable each shard world's Tracer
+  std::size_t trace_capacity = obs::Tracer::kDefaultCapacity;  // ring slots/shard
+  bool metrics = false;  // collect sim + result counters/distributions
+};
+
+// Where the observations land. Shard traces are appended in spec vantage
+// order (label "vantage/<id>"), shard metrics merge by name — both therefore
+// independent of thread count and shard completion order.
+struct CampaignObsData {
+  obs::MergedTrace trace;
+  obs::Metrics metrics;
+};
+
+// Fold the merged campaign outcome into `m`: record/ping counts, failure
+// stage and error-class breakdowns, and response-time distributions. Operates
+// on the merged (canonical-order) result, so the numbers are the same for any
+// thread count.
+void collect_result_metrics(const CampaignResult& result, obs::Metrics& m);
 
 // Successive splitmix64 outputs seeded from `spec_seed`: shard i of n gets
 // seeds[i]. Stable across thread counts and shard execution order.
@@ -26,6 +50,14 @@ namespace ednsm::core {
 // (clamped to [1, #shards]). Throws std::invalid_argument on an invalid
 // spec, and propagates the first shard exception otherwise.
 [[nodiscard]] CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads);
+
+// Same engine with observability: when `obs_options` enables tracing or
+// metrics and `obs_out` is non-null, shard traces/metrics are merged into it
+// deterministically. Tracing never perturbs the simulation — the returned
+// CampaignResult is byte-identical to the plain overload's.
+[[nodiscard]] CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads,
+                                                   const CampaignObsOptions& obs_options,
+                                                   CampaignObsData* obs_out);
 
 // Re-run `spec` under `sweeps` derived seeds (splitmix64 from spec.seed),
 // sweeping whole campaigns across the worker pool — the "many more seeds

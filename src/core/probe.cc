@@ -1,6 +1,7 @@
 #include "core/probe.h"
 
 #include "client/session.h"
+#include "obs/trace.h"
 
 namespace ednsm::core {
 
@@ -36,6 +37,7 @@ ResultRecord from_outcome(ResultRecord r, const client::QueryOutcome& outcome) {
   } else if (outcome.error.has_value()) {
     r.error_class = std::string(client::to_string(outcome.error->error_class));
     r.error_detail = outcome.error->detail;
+    r.failure_stage = std::string(derive_failure_stage(r.error_class));
   }
   return r;
 }
@@ -77,6 +79,9 @@ struct ProbeChain : std::enable_shared_from_this<ProbeChain> {
     auto self = shared_from_this();
     session->query(name_r.value(), dns::RecordType::A,
                    [self, rec = std::move(rec), index](client::QueryOutcome outcome) mutable {
+                     netsim::EventQueue& q = self->world.queue();
+                     OBS_COMPLETE(q, "core", "query", q.now() - outcome.timing.total,
+                                  outcome.timing.total);
                      self->records.push_back(from_outcome(std::move(rec), outcome));
                      self->next(index + 1);
                    });
@@ -107,6 +112,8 @@ void DnsProbe::run(SimWorld& world, const std::string& vantage_id,
                                      netsim::to_ms(world.queue().now()));
       rec.error_class = "bootstrap-failure";
       rec.error_detail = "resolver hostname not in registry";
+      rec.failure_stage = std::string(derive_failure_stage(rec.error_class));
+      OBS_EVENT(world.queue(), "core", "bootstrap-failure");
       chain->records.push_back(std::move(rec));
     }
     chain->done(std::move(chain->records));

@@ -117,6 +117,18 @@ Result<MeasurementSpec> MeasurementSpec::from_json(const Json& j) {
   return spec;
 }
 
+std::string_view derive_failure_stage(std::string_view error_class) noexcept {
+  // "bootstrap-failure" never reached the wire; the closest phase is connect.
+  if (error_class == "connect-refused" || error_class == "connect-timeout" ||
+      error_class == "bootstrap-failure") {
+    return "connect";
+  }
+  if (error_class == "tls-failure") return "handshake";
+  if (error_class == "http-error" || error_class == "malformed") return "query";
+  if (error_class == "timeout") return "timeout";
+  return {};
+}
+
 Json ResultRecord::to_json() const {
   JsonObject o;
   o["vantage"] = vantage;
@@ -138,6 +150,7 @@ Json ResultRecord::to_json() const {
   if (!ok) {
     o["error_class"] = error_class;
     o["error_detail"] = error_detail;
+    if (!failure_stage.empty()) o["failure_stage"] = failure_stage;
   }
   if (http_status != 0) o["http_status"] = http_status;
   o["answers"] = answer_count;
@@ -179,6 +192,12 @@ Result<ResultRecord> ResultRecord::from_json(const Json& j) {
   if (j.at("rcode").is_string()) r.rcode = j.at("rcode").as_string();
   if (j.at("error_class").is_string()) r.error_class = j.at("error_class").as_string();
   if (j.at("error_detail").is_string()) r.error_detail = j.at("error_detail").as_string();
+  if (j.at("failure_stage").is_string()) {
+    r.failure_stage = j.at("failure_stage").as_string();
+  } else if (!r.ok && !r.error_class.empty()) {
+    // Files written before the field existed: reconstruct from error_class.
+    r.failure_stage = std::string(derive_failure_stage(r.error_class));
+  }
   if (j.at("http_status").is_number()) {
     r.http_status = static_cast<int>(j.at("http_status").as_number());
   }

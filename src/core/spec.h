@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "client/query.h"
@@ -57,12 +58,20 @@ struct ResultRecord {
   std::string rcode;           // "NOERROR", ... (when ok)
   std::string error_class;     // "connect-timeout", ... (when !ok)
   std::string error_detail;
+  // Which phase the failure landed in: "connect", "handshake", "query", or
+  // "timeout" (when !ok). Additive JSON field: emitted only when non-empty,
+  // and derived from error_class when reading files written before it existed.
+  std::string failure_stage;
   int http_status = 0;
   int answer_count = 0;
 
   [[nodiscard]] Json to_json() const;
   [[nodiscard]] static Result<ResultRecord> from_json(const Json& j);
 };
+
+// Maps an error_class string to the query phase it failed in. Returns "" for
+// unknown classes so callers can tell "no mapping" from a real stage.
+[[nodiscard]] std::string_view derive_failure_stage(std::string_view error_class) noexcept;
 
 // One ICMP probe result.
 struct PingRecord {

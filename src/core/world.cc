@@ -5,8 +5,60 @@ namespace ednsm::core {
 SimWorld::SimWorld(std::uint64_t seed) : SimWorld(seed, resolver::paper_resolver_list()) {}
 
 SimWorld::SimWorld(std::uint64_t seed, const std::vector<resolver::ResolverSpec>& specs) {
+  queue_.set_tracer(&tracer_);
   net_ = std::make_unique<netsim::Network>(queue_, netsim::Rng(seed));
   fleet_ = std::make_unique<resolver::ResolverFleet>(*net_, specs);
+}
+
+void SimWorld::collect_metrics(obs::Metrics& m) const {
+  const netsim::NetworkStats& ns = net_->stats();
+  m.add("netsim.datagrams_sent", ns.datagrams_sent);
+  m.add("netsim.datagrams_dropped", ns.datagrams_dropped);
+  m.add("netsim.datagrams_delivered", ns.datagrams_delivered);
+  m.add("netsim.datagrams_unroutable", ns.datagrams_unroutable);
+  m.add("netsim.pings_sent", ns.pings_sent);
+  m.add("netsim.pings_answered", ns.pings_answered);
+  m.add("netsim.events_executed", queue_.executed_total());
+
+  resolver::ServerQueryStats fleet_total;
+  for (const resolver::ResolverSpec& spec : fleet_->specs()) {
+    const resolver::ServerQueryStats s = fleet_->stats_of(spec.hostname);
+    fleet_total.queries += s.queries;
+    fleet_total.cache_hits += s.cache_hits;
+    fleet_total.warm_hits += s.warm_hits;
+    fleet_total.cache_misses += s.cache_misses;
+    fleet_total.servfails += s.servfails;
+    fleet_total.formerrs += s.formerrs;
+    fleet_total.http_errors += s.http_errors;
+    fleet_total.doh_requests += s.doh_requests;
+    fleet_total.dot_requests += s.dot_requests;
+    fleet_total.do53_requests += s.do53_requests;
+    fleet_total.doq_requests += s.doq_requests;
+  }
+  m.add("resolver.queries", fleet_total.queries);
+  m.add("resolver.cache_hits", fleet_total.cache_hits);
+  m.add("resolver.warm_hits", fleet_total.warm_hits);
+  m.add("resolver.cache_misses", fleet_total.cache_misses);
+  m.add("resolver.servfails", fleet_total.servfails);
+  m.add("resolver.formerrs", fleet_total.formerrs);
+  m.add("resolver.http_errors", fleet_total.http_errors);
+  m.add("resolver.doh_requests", fleet_total.doh_requests);
+  m.add("resolver.dot_requests", fleet_total.dot_requests);
+  m.add("resolver.do53_requests", fleet_total.do53_requests);
+  m.add("resolver.doq_requests", fleet_total.doq_requests);
+
+  transport::PoolStats pool_total;
+  for (const auto& entry : vantages_) {
+    const transport::PoolStats& p = entry.second.pool->stats();
+    pool_total.acquires += p.acquires;
+    pool_total.reused += p.reused;
+    pool_total.fresh += p.fresh;
+    pool_total.handshake_failures += p.handshake_failures;
+  }
+  m.add("transport.pool_acquires", pool_total.acquires);
+  m.add("transport.pool_reused", pool_total.reused);
+  m.add("transport.pool_fresh", pool_total.fresh);
+  m.add("transport.pool_handshake_failures", pool_total.handshake_failures);
 }
 
 SimWorld::Vantage& SimWorld::vantage(const std::string& id) {

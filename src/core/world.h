@@ -10,6 +10,8 @@
 #include "geo/vantage.h"
 #include "netsim/event_queue.h"
 #include "netsim/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resolver/odoh.h"
 #include "resolver/registry.h"
 #include "transport/pool.h"
@@ -29,6 +31,16 @@ class SimWorld {
   [[nodiscard]] netsim::EventQueue& queue() noexcept { return queue_; }
   [[nodiscard]] netsim::Network& net() noexcept { return *net_; }
   [[nodiscard]] resolver::ResolverFleet& fleet() noexcept { return *fleet_; }
+
+  // The world's trace sink, pre-wired into the event queue so any component
+  // with queue access can emit. Off until Tracer::enable() is called.
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+
+  // Snapshot simulation-side counters into `m`: network datagram totals,
+  // events executed, fleet-wide resolver cache/query stats (summed over
+  // specs() in declaration order), and pool stats summed over attached
+  // vantages (ordered by id). Deterministic for a deterministic run.
+  void collect_metrics(obs::Metrics& m) const;
 
   struct Vantage {
     geo::VantagePoint info;
@@ -52,6 +64,7 @@ class SimWorld {
 
  private:
   netsim::EventQueue queue_;
+  obs::Tracer tracer_;
   std::unique_ptr<netsim::Network> net_;
   std::unique_ptr<resolver::ResolverFleet> fleet_;
   std::map<std::string, Vantage> vantages_;

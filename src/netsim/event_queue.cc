@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace ednsm::netsim {
 
 EventQueue::EventId EventQueue::schedule(SimDuration delay, Callback cb) {
@@ -55,9 +57,11 @@ std::size_t EventQueue::run_until_idle() {
     if (heap_.empty()) break;
     pop_front(e);
     now_ = e.when;
+    OBS_EVENT(*this, "netsim", "dispatch");
     e.cb();
     e.cb.reset();
     ++executed;
+    ++executed_total_;
   }
   return executed;
 }
@@ -70,9 +74,11 @@ std::size_t EventQueue::run_until(SimTime deadline) {
     if (heap_.empty() || heap_.front().when > deadline) break;
     pop_front(e);
     now_ = e.when;
+    OBS_EVENT(*this, "netsim", "dispatch");
     e.cb();
     e.cb.reset();
     ++executed;
+    ++executed_total_;
   }
   if (now_ < deadline) now_ = deadline;
   return executed;

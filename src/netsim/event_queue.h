@@ -28,6 +28,10 @@
 #include "netsim/callback.h"
 #include "netsim/time.h"
 
+namespace ednsm::obs {
+class Tracer;
+}  // namespace ednsm::obs
+
 namespace ednsm::netsim {
 
 class EventQueue {
@@ -61,6 +65,18 @@ class EventQueue {
   [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
   [[nodiscard]] std::size_t pending() const noexcept { return live_count_; }
 
+  // Events executed over the queue's whole lifetime (run_until* return only
+  // per-call counts) — the "netsim.events_executed" metric.
+  [[nodiscard]] std::uint64_t executed_total() const noexcept { return executed_total_; }
+
+  // Optional tracer, owned by the enclosing world. The queue is the clock
+  // every subsystem already holds a reference to, so it doubles as the trace
+  // attachment point: anything with queue access can emit via the OBS_*
+  // macros. Null (the default) means "tracing impossible", which the macros
+  // check before the enabled flag.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   struct Entry {
     SimTime when;
@@ -91,6 +107,8 @@ class EventQueue {
 
   SimTime now_{0};
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_total_ = 0;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<Entry> heap_;
   // Liveness flags for ids [base_, next_seq_); see the header comment.
   std::uint64_t base_ = 0;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace ednsm::netsim {
 
 IpAddr Network::attach(std::string label, geo::GeoPoint location, AccessLinkModel access) {
@@ -67,12 +69,14 @@ void Network::send(Datagram dgram) {
   const auto trip = sample_trip(dgram.src.ip, dgram.dst.ip);
   if (!trip.has_value()) {
     ++stats_.datagrams_dropped;
+    OBS_EVENT(queue_, "netsim", "datagram-loss");
     return;
   }
   queue_.schedule(*trip, [this, d = std::move(dgram)]() {
     const auto it = bindings_.find(d.dst);
     if (it == bindings_.end()) {
       ++stats_.datagrams_unroutable;
+      OBS_EVENT(queue_, "netsim", "datagram-unroutable");
       return;
     }
     ++stats_.datagrams_delivered;

@@ -1,0 +1,81 @@
+// Metrics registry: named counters, gauges, and distributions keyed by
+// interned symbols (the core/availability convention — one dense u32 per
+// name, assigned in first-registration order, so identical workloads produce
+// identical tables).
+//
+// Names follow "subsystem.metric" (e.g. "netsim.datagrams_dropped",
+// "transport.pool_reused"). Hot paths hold a Counter handle (a symbol) and
+// bump by index; cold paths use the string-keyed convenience overloads.
+// Distributions reuse stats/welford for moments and stats/histogram for
+// quantiles. merge() combines shard registries by name, so the merged dump is
+// independent of shard execution order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/intern.h"
+#include "stats/histogram.h"
+#include "stats/welford.h"
+
+namespace ednsm::obs {
+
+class Metrics {
+ public:
+  using Key = core::InternTable::Symbol;
+
+  // Distribution bins: 1 ms resolution to 2 s, overflow above — sized for
+  // per-query latencies under the paper's 5 s timeout.
+  static constexpr double kBinWidthMs = 1.0;
+  static constexpr std::size_t kBins = 2000;
+
+  // -- counters ---------------------------------------------------------------
+  [[nodiscard]] Key counter_key(std::string_view name);
+  void add(Key counter, std::uint64_t delta = 1) { counters_[counter] += delta; }
+  void add(std::string_view name, std::uint64_t delta = 1) { add(counter_key(name), delta); }
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  // -- gauges (last write wins; merge sums, for shard-additive gauges) --------
+  void set_gauge(std::string_view name, double value);
+  [[nodiscard]] double gauge(std::string_view name) const;
+
+  // -- distributions ----------------------------------------------------------
+  [[nodiscard]] Key distribution_key(std::string_view name);
+  void observe(Key distribution, double value);
+  void observe(std::string_view name, double value) { observe(distribution_key(name), value); }
+  [[nodiscard]] const stats::Welford* distribution(std::string_view name) const;
+
+  // Combine another registry into this one by metric name (not symbol):
+  // counters and gauges sum, distributions merge moments and bins.
+  void merge(const Metrics& other);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && dists_.empty();
+  }
+
+  // JSONL dump: one JSON object per line, sorted by (name, kind) so the
+  // stream is deterministic regardless of registration order. Counters:
+  // {"kind":"counter","name":...,"value":N}. Gauges: {"kind":"gauge",...,
+  // "value":X}. Distributions: {"kind":"distribution","name":...,"count":N,
+  // "mean":...,"stddev":...,"min":...,"max":...,"p50":...,"p90":...,"p99":...}.
+  void write_jsonl(std::ostream& os) const;
+  [[nodiscard]] std::string jsonl() const;
+
+ private:
+  struct Distribution {
+    stats::Welford welford;
+    stats::Histogram histogram{kBinWidthMs, kBins};
+  };
+
+  core::InternTable counter_names_;
+  std::vector<std::uint64_t> counters_;
+  core::InternTable gauge_names_;
+  std::vector<double> gauges_;
+  core::InternTable dist_names_;
+  std::vector<Distribution> dists_;
+};
+
+}  // namespace ednsm::obs

@@ -1,0 +1,45 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ednsm::obs {
+
+core::InternTable::Symbol WallProfiler::key(std::string_view stage) {
+  const auto k = stages_.intern(stage);
+  if (k >= totals_ms_.size()) totals_ms_.resize(k + 1, 0.0);
+  return k;
+}
+
+void WallProfiler::add(core::InternTable::Symbol stage, double ms) {
+  if (stage >= totals_ms_.size()) totals_ms_.resize(stage + 1, 0.0);
+  totals_ms_[stage] += ms;
+}
+
+std::vector<std::pair<std::string, double>> WallProfiler::totals() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(totals_ms_.size());
+  for (core::InternTable::Symbol k = 0; k < totals_ms_.size(); ++k) {
+    out.emplace_back(stages_.name(k), totals_ms_[k]);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+std::string WallProfiler::report() const {
+  const auto rows = totals();
+  double sum = 0.0;
+  for (const auto& [stage, ms] : rows) sum += ms;
+  std::string out = "stage                         wall_ms      %\n";
+  char buf[128];
+  for (const auto& [stage, ms] : rows) {
+    const double pct = sum > 0.0 ? 100.0 * ms / sum : 0.0;
+    std::snprintf(buf, sizeof(buf), "%-28s %8.2f  %5.1f\n", stage.c_str(), ms, pct);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ednsm::obs

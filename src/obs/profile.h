@@ -1,0 +1,64 @@
+// Wall-clock self-profiler for the bench harness: accumulates real elapsed
+// time per named stage so `ednsm_bench --profile` can report where wall time
+// goes (world construction, campaign run, merge, serialization).
+//
+// This is the one deliberately non-deterministic corner of src/obs: it reads
+// the host's steady clock (lint-suppressed below) and must therefore never
+// feed simulated results — it is harness-side instrumentation only, exactly
+// like the existing wall timing in ednsm_bench.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/intern.h"
+
+namespace ednsm::obs {
+
+class WallProfiler {
+ public:
+  // RAII stage timer: accumulates into the profiler at scope exit.
+  class Scope {
+   public:
+    Scope(WallProfiler& profiler, std::string_view stage)
+        : profiler_(profiler),
+          key_(profiler.key(stage)),
+          // ednsm-lint: allow(determinism-wallclock) — harness-side profiler;
+          // never feeds simulated results (see header comment).
+          start_(std::chrono::steady_clock::now()) {}
+    ~Scope() {
+      // ednsm-lint: allow(determinism-wallclock) — harness-side profiler
+      const auto end = std::chrono::steady_clock::now();
+      profiler_.add(key_, std::chrono::duration<double, std::milli>(end - start_).count());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    WallProfiler& profiler_;
+    core::InternTable::Symbol key_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  [[nodiscard]] Scope scope(std::string_view stage) { return Scope(*this, stage); }
+
+  [[nodiscard]] core::InternTable::Symbol key(std::string_view stage);
+  void add(core::InternTable::Symbol stage, double ms);
+  void add(std::string_view stage, double ms) { add(key(stage), ms); }
+
+  // (stage, total ms) pairs, largest total first (ties broken by name so the
+  // report layout is stable run-to-run even if timings jitter).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> totals() const;
+
+  // Plain-text table of totals with percentage of the profiled sum.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  core::InternTable stages_;
+  std::vector<double> totals_ms_;
+};
+
+}  // namespace ednsm::obs

@@ -1,0 +1,33 @@
+// Campaign flight recorder: a post-hoc debugging view over a finished
+// campaign. Renders the top-N slowest queries as per-phase span trees
+// (reconstructed from each record's timing decomposition) plus a
+// failure-cause breakdown keyed by (failure_stage, error_class) — the
+// "what went wrong, where, and what did the slow tail pay for" report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/campaign.h"
+#include "report/table.h"
+
+namespace ednsm::report {
+
+// Failure counts by (stage, error_class), sorted by descending count then
+// lexicographically — deterministic for a deterministic campaign. Columns:
+// Stage | Error | Count | Share%.
+[[nodiscard]] Table failure_breakdown_table(const core::CampaignResult& result);
+
+// The `top_n` slowest queries by end-to-end response time (ties broken by
+// canonical record order), each rendered as a span tree of its phases.
+// Includes failed records: a timeout sitting at the deadline is exactly what
+// a flight recorder is for.
+[[nodiscard]] std::string render_slowest_queries(const core::CampaignResult& result,
+                                                 std::size_t top_n);
+
+// The full flight-recorder report: summary line, slowest queries, failure
+// breakdown.
+[[nodiscard]] std::string render_flight_recorder(const core::CampaignResult& result,
+                                                 std::size_t top_n = 10);
+
+}  // namespace ednsm::report

@@ -1,6 +1,7 @@
 #include "resolver/server.h"
 
 #include "dns/wire.h"
+#include "obs/trace.h"
 #include "util/bytes.h"
 #include "util/strings.h"
 
@@ -111,18 +112,22 @@ void ResolverServer::handle_query(util::Bytes wire,
 
   if (auto hit = cache_.lookup(key, now); hit.has_value()) {
     ++stats_.cache_hits;
+    OBS_EVENT(net_.queue(), "resolver", "cache-hit");
     rcode = hit->rcode;
     answers = std::move(hit->answers);
   } else if (rng_.bernoulli(behavior_.warm_cache_probability)) {
     // Another client of this resolver kept the entry warm; to our probe it
     // is indistinguishable from a local hit.
     ++stats_.warm_hits;
+    OBS_EVENT(net_.queue(), "resolver", "cache-warm-hit");
     answers = synthesize_answers(q.qname, q.qtype);
     cache_.insert(key, dns::Rcode::NoError, answers, now);
   } else {
     ++stats_.cache_misses;
+    OBS_EVENT(net_.queue(), "resolver", "cache-miss");
     if (sample_servfail(behavior_.upstream, rng_)) {
       ++stats_.servfails;
+      OBS_EVENT(net_.queue(), "resolver", "upstream-servfail");
       rcode = dns::Rcode::ServFail;
       delay_ms += behavior_.upstream.servfail_stall_ms;
     } else {
@@ -133,6 +138,7 @@ void ResolverServer::handle_query(util::Bytes wire,
   }
 
   dns::Message response = dns::make_response(query, rcode, std::move(answers));
+  OBS_COMPLETE(net_.queue(), "resolver", "resolve", now, netsim::from_ms(delay_ms));
   net_.queue().schedule(netsim::from_ms(delay_ms),
                         [respond = std::move(respond), wire_out = response.encode()]() {
                           respond(wire_out);

@@ -20,6 +20,13 @@ void Histogram::add(double value_ms) noexcept {
   }
 }
 
+bool Histogram::merge(const Histogram& other) noexcept {
+  if (width_ != other.width_ || counts_.size() != other.counts_.size()) return false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  return true;
+}
+
 double Histogram::approx_quantile(double q) const noexcept {
   if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);

@@ -23,6 +23,11 @@ class Histogram {
   // Approximate quantile by bin interpolation (NaN when empty).
   [[nodiscard]] double approx_quantile(double q) const noexcept;
 
+  // Element-wise combination of another histogram with the same bin layout
+  // (width and count); histograms shaped differently are rejected (no-op
+  // returning false) rather than silently mis-binned.
+  bool merge(const Histogram& other) noexcept;
+
  private:
   double width_;
   std::vector<std::uint64_t> counts_;  // last element = overflow

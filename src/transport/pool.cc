@@ -1,5 +1,7 @@
 #include "transport/pool.h"
 
+#include "obs/trace.h"
+
 namespace ednsm::transport {
 
 std::string_view to_string(ReusePolicy p) noexcept {
@@ -40,10 +42,13 @@ void ConnectionPool::acquire(const netsim::Endpoint& remote, const std::string& 
                              ReusePolicy policy, util::Bytes early_data, AcquireCallback cb) {
   const SessionKey key{remote, sni};
   const netsim::SimTime acquire_started = net_.queue().now();
+  ++stats_.acquires;
 
   if (policy != ReusePolicy::None) {
     const auto it = sessions_.find(key);
     if (it != sessions_.end() && it->second->tls.established()) {
+      ++stats_.reused;
+      OBS_EVENT(net_.queue(), "transport", "pool-reuse");
       Lease lease;
       lease.tcp = &it->second->tcp;
       lease.tls = &it->second->tls;
@@ -77,6 +82,7 @@ void ConnectionPool::acquire(const netsim::Endpoint& remote, const std::string& 
                     early_data = std::move(early_data),
                     cb = std::move(cb)](Result<void> connected) mutable {
     if (!connected) {
+      ++stats_.handshake_failures;
       sessions_.erase(key);
       cb(Err{connected.error()});
       return;
@@ -85,6 +91,7 @@ void ConnectionPool::acquire(const netsim::Endpoint& remote, const std::string& 
         mode, ticket, std::move(early_data),
         [this, key, raw, mode, acquire_started, cb = std::move(cb)](Result<TlsHandshakeInfo> hs) {
           if (!hs) {
+            ++stats_.handshake_failures;
             sessions_.erase(key);
             cb(Err{hs.error()});
             return;
@@ -104,6 +111,8 @@ void ConnectionPool::acquire(const netsim::Endpoint& remote, const std::string& 
           const netsim::SimDuration handshakes = lease.tcp_handshake + lease.tls_handshake;
           lease.wait_in_pool =
               setup > handshakes ? setup - handshakes : netsim::SimDuration{0};
+          ++stats_.fresh;
+          OBS_COMPLETE(net_.queue(), "transport", "pool-acquire", acquire_started, setup);
           cb(lease);
         });
   });

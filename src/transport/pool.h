@@ -52,6 +52,16 @@ struct SessionKeyHash {
   }
 };
 
+// Lease-lifecycle counters for the "transport.pool_*" metrics. `reused` and
+// `fresh` partition successful acquires; `handshake_failures` counts acquires
+// that died in TCP connect or the TLS handshake.
+struct PoolStats {
+  std::uint64_t acquires = 0;
+  std::uint64_t reused = 0;
+  std::uint64_t fresh = 0;
+  std::uint64_t handshake_failures = 0;
+};
+
 class ConnectionPool {
  public:
   // A leased session: valid until release()/invalidate(). `fresh` says the
@@ -92,6 +102,7 @@ class ConnectionPool {
   void forget_ticket(const netsim::Endpoint& remote, const std::string& sni);
 
   [[nodiscard]] std::size_t live_sessions() const noexcept { return sessions_.size(); }
+  [[nodiscard]] const PoolStats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool has_ticket(const netsim::Endpoint& remote, const std::string& sni) const;
   [[nodiscard]] netsim::IpAddr local_ip() const noexcept { return local_ip_; }
 
@@ -106,6 +117,7 @@ class ConnectionPool {
   netsim::Network& net_;
   netsim::IpAddr local_ip_;
   std::uint32_t next_conn_id_ = 1;
+  PoolStats stats_;
   // Point access only (never iterated) — hashed, like the listener conn maps.
   std::unordered_map<SessionKey, std::unique_ptr<Session>, SessionKeyHash> sessions_;
   std::unordered_map<SessionKey, SessionTicket, SessionKeyHash> tickets_;

@@ -2,6 +2,7 @@
 
 #include "dns/wire.h"
 #include "netsim/rng.h"
+#include "obs/trace.h"
 
 namespace ednsm::transport {
 
@@ -350,6 +351,8 @@ void QuicConnection::handle_datagram(const Datagram& d) {
       }
       established_ = true;
       handshake_duration_ = net_.queue().now() - connect_started_;
+      OBS_COMPLETE(net_.queue(), "transport", "quic-handshake", connect_started_,
+                   handshake_duration_);
       QuicHandshakeInfo info;
       info.mode = mode_;
       info.early_data_accepted = payload.value().early_accepted;

@@ -1,6 +1,7 @@
 #include "transport/tcp.h"
 
 #include "dns/wire.h"
+#include "obs/trace.h"
 
 namespace ednsm::transport {
 
@@ -200,6 +201,7 @@ void TcpConnection::retransmit_syn() {
 
 void TcpConnection::fail_connect(const std::string& why) {
   state_ = State::Closed;
+  OBS_EVENT(net_.queue(), "transport", "tcp-connect-fail");
   if (syn_timer_.has_value()) {
     net_.queue().cancel(*syn_timer_);
     syn_timer_.reset();
@@ -222,6 +224,8 @@ void TcpConnection::handle_datagram(const Datagram& d) {
       if (state_ != State::SynSent) return;  // duplicate SYNACK
       state_ = State::Established;
       handshake_duration_ = net_.queue().now() - connect_started_;
+      OBS_COMPLETE(net_.queue(), "transport", "tcp-handshake", connect_started_,
+                   handshake_duration_);
       if (syn_timer_.has_value()) {
         net_.queue().cancel(*syn_timer_);
         syn_timer_.reset();

@@ -1,6 +1,7 @@
 #include "transport/tls.h"
 
 #include "dns/wire.h"
+#include "obs/trace.h"
 
 namespace ednsm::transport {
 
@@ -192,6 +193,7 @@ void TlsClient::handle_message(util::Bytes raw) {
   TlsRecord& rec = rec_r.value();
 
   if (rec.type == TlsContentType::Alert) {
+    OBS_EVENT(conn_.queue(), "transport", "tls-alert");
     if (handshake_cb_) {
       auto cb = std::move(handshake_cb_);
       handshake_cb_ = nullptr;
@@ -217,6 +219,8 @@ void TlsClient::handle_message(util::Bytes raw) {
 
     established_ = true;
     handshake_duration_ = conn_.queue().now() - handshake_started_;
+    OBS_COMPLETE(conn_.queue(), "transport", "tls-handshake", handshake_started_,
+                 handshake_duration_);
     // Client Finished rides with (or just before) the first app record; send
     // it explicitly so the server-side state machine is honest.
     TlsRecord fin;

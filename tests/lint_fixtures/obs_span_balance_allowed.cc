@@ -1,0 +1,18 @@
+// Fixture: manual span pairing with a per-line suppression rationale.
+// Expected: no diagnostics.
+#include <cstdint>
+
+namespace obs {
+class Tracer;
+}
+
+namespace demo {
+
+void traced_section(obs::Tracer& tracer, std::uint64_t now) {
+  // ednsm-lint: allow(obs-span-balance) — span id crosses a callback boundary
+  const std::uint64_t id = tracer.begin_span("demo", "section", now);
+  // ednsm-lint: allow(obs-span-balance) — closed here after the callback fires
+  tracer.end_span(id, now + 5);
+}
+
+}  // namespace demo

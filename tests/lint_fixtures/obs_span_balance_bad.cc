@@ -1,0 +1,16 @@
+// Fixture: manual Tracer span pairing outside src/obs.
+// Expected: obs-span-balance x2 (begin_span, end_span).
+#include <cstdint>
+
+namespace obs {
+class Tracer;
+}
+
+namespace demo {
+
+void traced_section(obs::Tracer& tracer, std::uint64_t now) {
+  const std::uint64_t id = tracer.begin_span("demo", "section", now);
+  tracer.end_span(id, now + 5);
+}
+
+}  // namespace demo

@@ -125,12 +125,38 @@ TEST(LintFixtures, NodiscardResultBad) {
   }
 }
 
+TEST(LintFixtures, ObsSpanBalanceBad) {
+  const auto diags = lint_fixture("obs_span_balance_bad.cc");
+  EXPECT_EQ(rule_ids(diags), (std::multiset<std::string>{"obs-span-balance", "obs-span-balance"}))
+      << dump(diags);
+  for (const Diagnostic& d : diags) {
+    EXPECT_TRUE(d.message.find("begin_span") != std::string::npos ||
+                d.message.find("end_span") != std::string::npos)
+        << d.message;
+  }
+}
+
+TEST(LintFixtures, ObsSpanBalanceSuppressed) {
+  const auto diags = lint_fixture("obs_span_balance_allowed.cc");
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+// The rule only polices code outside src/obs — the tracer's own
+// implementation (and SpanGuard, which pairs the calls) is exempt by path.
+TEST(LintFixtures, ObsSpanBalanceExemptInsideObs) {
+  const std::string path = std::string(EDNSM_LINT_FIXTURE_DIR) + "/obs_span_balance_bad.cc";
+  const auto diags =
+      ednsm::lint::run_lint({SourceFile{"src/obs/fake_tracer.cc", read_file(path)}});
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
 // Every advertised rule ID is exercised by at least one bad fixture above.
 TEST(LintFixtures, EveryRuleCovered) {
   const std::vector<std::string> bad_fixtures = {
       "unordered_iter_bad.cc", "wallclock_bad.cc",     "pointer_key_bad.h",
       "codec_parity_bad.cc",   "phase_sum_bad.h",      "phase_sum_missing.h",
       "pragma_once_bad.h",     "using_namespace_bad.h", "nodiscard_bad.h",
+      "obs_span_balance_bad.cc",
   };
   std::set<std::string> triggered;
   for (const std::string& name : bad_fixtures) {
@@ -259,6 +285,30 @@ TEST(LintTree, NewPhaseMemberOutsidePhaseSumFails) {
     return d.rule == "phase-sum" && d.message.find("retry_backoff") != std::string::npos;
   });
   EXPECT_TRUE(found) << dump(diags);
+}
+
+// Hand-pairing Tracer::begin_span/end_span in simulation code (instead of the
+// OBS_SPAN RAII macro) must trip obs-span-balance.
+TEST(LintTree, ManualSpanPairingFails) {
+  auto files = load_repo_tree();
+  bool mutated = false;
+  for (SourceFile& f : files) {
+    if (!f.path.ends_with("core/campaign.cc")) continue;
+    f.content +=
+        "\nnamespace ednsm::core {\n"
+        "void debug_trace_round(SimWorld& world) {\n"
+        "  const auto id = world.tracer().begin_span(\"core\", \"round\", world.queue().now());\n"
+        "  world.tracer().end_span(id, world.queue().now());\n"
+        "}\n"
+        "}  // namespace ednsm::core\n";
+    mutated = true;
+  }
+  ASSERT_TRUE(mutated);
+  const auto diags = ednsm::lint::run_lint(files);
+  const auto count = std::count_if(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.rule == "obs-span-balance";
+  });
+  EXPECT_EQ(count, 2) << dump(diags);
 }
 
 }  // namespace

@@ -1,0 +1,312 @@
+// Observability layer tests: tracer ring semantics, span guards, metrics
+// registry and merge, Chrome-trace export, the campaign-level determinism
+// guarantees (merged trace byte-identical across thread counts; tracing never
+// perturbs the simulation), failure_stage codec behavior, and the flight
+// recorder rendering.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/campaign.h"
+#include "core/json.h"
+#include "core/parallel_campaign.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "report/flight_recorder.h"
+
+namespace {
+
+using namespace ednsm;
+using netsim::SimDuration;
+using netsim::SimTime;
+
+SimTime us(long long n) { return SimTime(std::chrono::microseconds(n)); }
+
+// Minimal Clock for SpanGuard / the OBS_* macros: a settable SimTime plus a
+// tracer pointer, standing in for netsim::EventQueue.
+struct FakeClock {
+  obs::Tracer* tracer_ptr = nullptr;
+  SimTime now_{0};
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_ptr; }
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+};
+
+core::MeasurementSpec small_spec() {
+  core::MeasurementSpec spec;
+  spec.resolvers = {"dns.google", "ordns.he.net", "doh.ffmuc.net"};
+  spec.vantage_ids = {"ec2-ohio", "ec2-frankfurt"};
+  spec.rounds = 2;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  obs::Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.instant("sub", "ev", us(10));
+  t.complete("sub", "phase", us(0), SimDuration(std::chrono::microseconds(5)));
+  EXPECT_EQ(t.emitted(), 0u);
+  EXPECT_EQ(t.buffered(), 0u);
+  const obs::TraceData data = t.drain();
+  EXPECT_TRUE(data.events.empty());
+}
+
+TEST(Tracer, RecordsInstantAndComplete) {
+  obs::Tracer t;
+  t.enable();
+  t.instant("resolver", "cache-hit", us(100));
+  t.complete("client", "exchange", us(50), SimDuration(std::chrono::microseconds(25)));
+  EXPECT_EQ(t.emitted(), 2u);
+  obs::TraceData data = t.drain();
+  ASSERT_EQ(data.events.size(), 2u);
+  EXPECT_EQ(data.events[0].kind, obs::EventKind::Instant);
+  EXPECT_EQ(data.events[0].ts, us(100));
+  EXPECT_EQ(data.symbols.name(data.events[0].subsystem), "resolver");
+  EXPECT_EQ(data.symbols.name(data.events[0].name), "cache-hit");
+  EXPECT_EQ(data.events[1].kind, obs::EventKind::Complete);
+  EXPECT_EQ(data.events[1].ts, us(50));
+  EXPECT_EQ(data.events[1].dur, SimDuration(std::chrono::microseconds(25)));
+  // Drain resets the buffer but keeps recording enabled.
+  EXPECT_TRUE(t.enabled());
+  EXPECT_EQ(t.buffered(), 0u);
+}
+
+TEST(Tracer, RingDropsOldest) {
+  obs::Tracer t;
+  t.enable(4);
+  for (int i = 0; i < 6; ++i) t.instant("s", "e", us(i));
+  EXPECT_EQ(t.emitted(), 6u);
+  EXPECT_EQ(t.dropped(), 2u);
+  EXPECT_EQ(t.buffered(), 4u);
+  const obs::TraceData data = t.drain();
+  ASSERT_EQ(data.events.size(), 4u);
+  // Oldest two (ts 0, 1) were overwritten; survivors come out in order.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(data.events[static_cast<std::size_t>(i)].ts, us(i + 2));
+  EXPECT_EQ(data.dropped, 2u);
+  EXPECT_EQ(data.emitted, 6u);
+}
+
+TEST(Tracer, SpanGuardPairsBeginEnd) {
+  obs::Tracer t;
+  t.enable();
+  FakeClock clk;
+  clk.tracer_ptr = &t;
+  clk.now_ = us(10);
+  {
+    OBS_SPAN(clk, "core", "round");
+    clk.now_ = us(75);
+  }
+  obs::TraceData data = t.drain();
+  ASSERT_EQ(data.events.size(), 1u);
+  EXPECT_EQ(data.events[0].kind, obs::EventKind::Complete);
+  EXPECT_EQ(data.events[0].ts, us(10));
+  EXPECT_EQ(data.events[0].dur, SimDuration(std::chrono::microseconds(65)));
+  EXPECT_EQ(data.symbols.name(data.events[0].name), "round");
+}
+
+TEST(Tracer, MacrosNoOpWithoutTracerOrWhenDisabled) {
+  FakeClock no_tracer;  // tracer() == nullptr: macros must not dereference
+  OBS_EVENT(no_tracer, "s", "e");
+  OBS_COMPLETE(no_tracer, "s", "e", us(0), SimDuration{0});
+  { OBS_SPAN(no_tracer, "s", "e"); }
+
+  obs::Tracer t;  // present but disabled
+  FakeClock clk;
+  clk.tracer_ptr = &t;
+  OBS_EVENT(clk, "s", "e");
+  { OBS_SPAN(clk, "s", "e"); }
+  EXPECT_EQ(t.emitted(), 0u);
+}
+
+TEST(Metrics, CountersGaugesDistributions) {
+  obs::Metrics m;
+  m.add("netsim.datagrams_sent", 3);
+  m.add("netsim.datagrams_sent");
+  EXPECT_EQ(m.counter("netsim.datagrams_sent"), 4u);
+  EXPECT_EQ(m.counter("never.registered"), 0u);
+
+  m.set_gauge("campaign.shards", 2.0);
+  EXPECT_DOUBLE_EQ(m.gauge("campaign.shards"), 2.0);
+
+  m.observe("campaign.response_ms", 10.0);
+  m.observe("campaign.response_ms", 30.0);
+  const stats::Welford* d = m.distribution("campaign.response_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 2u);
+  EXPECT_DOUBLE_EQ(d->mean(), 20.0);
+}
+
+TEST(Metrics, MergeCombinesByName) {
+  obs::Metrics a, b;
+  a.add("x.count", 2);
+  b.add("x.count", 5);
+  b.add("y.count", 1);  // only in b; symbol ids differ between registries
+  a.observe("lat_ms", 10.0);
+  b.observe("lat_ms", 20.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter("x.count"), 7u);
+  EXPECT_EQ(a.counter("y.count"), 1u);
+  const stats::Welford* d = a.distribution("lat_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 2u);
+  EXPECT_DOUBLE_EQ(d->mean(), 15.0);
+}
+
+TEST(Metrics, JsonlIsSortedAndParses) {
+  obs::Metrics m;
+  m.add("zz.last", 1);
+  m.add("aa.first", 2);
+  m.observe("mm.lat_ms", 4.5);
+  const std::string jsonl = m.jsonl();
+  // Every line parses as a JSON object with kind/name.
+  std::size_t start = 0;
+  std::vector<std::string> names;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const auto parsed = core::Json::parse(jsonl.substr(start, end - start));
+    ASSERT_TRUE(parsed) << jsonl.substr(start, end - start);
+    ASSERT_TRUE(parsed.value().at("name").is_string());
+    names.push_back(parsed.value().at("name").as_string());
+    start = end + 1;
+  }
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(MergedTrace, ChromeJsonParsesAndFilters) {
+  obs::Tracer t;
+  t.enable();
+  t.instant("resolver", "cache-hit", us(10));
+  t.complete("client", "exchange", us(0), SimDuration(std::chrono::microseconds(7)));
+  obs::MergedTrace merged;
+  merged.add_shard("vantage/ec2-ohio", t.drain());
+  EXPECT_EQ(merged.shard_count(), 1u);
+  EXPECT_EQ(merged.total_events(), 2u);
+
+  const auto parsed = core::Json::parse(merged.chrome_json());
+  ASSERT_TRUE(parsed) << parsed.error();
+  const core::JsonArray& events = parsed.value().at("traceEvents").as_array();
+  std::size_t payload = 0, metadata = 0;
+  for (const core::Json& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M") {
+      ++metadata;
+    } else {
+      ASSERT_TRUE(ph == "X" || ph == "i") << ph;
+      ++payload;
+    }
+  }
+  EXPECT_EQ(payload, 2u);
+  EXPECT_GE(metadata, 1u);  // at least the shard thread_name record
+
+  // Subsystem filter: only the resolver event survives (plus metadata).
+  const auto filtered = core::Json::parse(merged.chrome_json("resolver"));
+  ASSERT_TRUE(filtered);
+  std::size_t kept = 0;
+  for (const core::Json& e : filtered.value().at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "M") {
+      ++kept;
+      EXPECT_EQ(e.at("cat").as_string(), "resolver");
+    }
+  }
+  EXPECT_EQ(kept, 1u);
+}
+
+// The headline guarantee: the merged trace of a sharded campaign is a pure
+// function of the spec — byte-identical JSON for any thread count.
+TEST(CampaignTrace, MergedTraceByteIdenticalAcrossThreadCounts) {
+  const core::MeasurementSpec spec = small_spec();
+  core::CampaignObsOptions opts;
+  opts.trace = true;
+  core::CampaignObsData one, eight;
+  const core::CampaignResult r1 = core::run_parallel_campaign(spec, 1, opts, &one);
+  const core::CampaignResult r8 = core::run_parallel_campaign(spec, 8, opts, &eight);
+  EXPECT_EQ(r1.to_json().dump(0), r8.to_json().dump(0));
+  ASSERT_EQ(one.trace.shard_count(), spec.vantage_ids.size());
+  EXPECT_GT(one.trace.total_events(), 0u);
+  EXPECT_EQ(one.trace.chrome_json(), eight.trace.chrome_json());
+}
+
+// Tracing must never perturb the simulation: results with tracing on are
+// byte-identical to the plain (no-obs) run.
+TEST(CampaignTrace, TracingDoesNotPerturbResults) {
+  const core::MeasurementSpec spec = small_spec();
+  const core::CampaignResult plain = core::run_parallel_campaign(spec, 2);
+  core::CampaignObsOptions opts;
+  opts.trace = true;
+  opts.metrics = true;
+  core::CampaignObsData data;
+  const core::CampaignResult traced = core::run_parallel_campaign(spec, 2, opts, &data);
+  EXPECT_EQ(plain.to_json().dump(0), traced.to_json().dump(0));
+  EXPECT_FALSE(data.metrics.empty());
+  EXPECT_EQ(data.metrics.counter("campaign.records"), plain.records.size());
+}
+
+TEST(CampaignTrace, MetricsMatchAcrossThreadCounts) {
+  const core::MeasurementSpec spec = small_spec();
+  core::CampaignObsOptions opts;
+  opts.metrics = true;
+  core::CampaignObsData one, four;
+  (void)core::run_parallel_campaign(spec, 1, opts, &one);
+  (void)core::run_parallel_campaign(spec, 4, opts, &four);
+  EXPECT_EQ(one.metrics.jsonl(), four.metrics.jsonl());
+}
+
+TEST(FailureStage, DeriveMapping) {
+  EXPECT_EQ(core::derive_failure_stage("connect-refused"), "connect");
+  EXPECT_EQ(core::derive_failure_stage("connect-timeout"), "connect");
+  EXPECT_EQ(core::derive_failure_stage("bootstrap-failure"), "connect");
+  EXPECT_EQ(core::derive_failure_stage("tls-failure"), "handshake");
+  EXPECT_EQ(core::derive_failure_stage("http-error"), "query");
+  EXPECT_EQ(core::derive_failure_stage("malformed"), "query");
+  EXPECT_EQ(core::derive_failure_stage("timeout"), "timeout");
+  EXPECT_EQ(core::derive_failure_stage("something-new"), "");
+}
+
+TEST(FailureStage, JsonRoundTripAndLegacyDerivation) {
+  core::ResultRecord r;
+  r.vantage = "ec2-ohio";
+  r.resolver = "dns.google";
+  r.domain = "google.com";
+  r.ok = false;
+  r.error_class = "tls-failure";
+  r.failure_stage = "handshake";
+  const core::Json j = r.to_json();
+  ASSERT_TRUE(j.at("failure_stage").is_string());
+  const auto back = core::ResultRecord::from_json(j);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back.value().failure_stage, "handshake");
+
+  // A file written before failure_stage existed: reader derives it from
+  // error_class instead of leaving it empty.
+  core::JsonObject legacy = j.as_object();
+  legacy.erase("failure_stage");
+  const auto derived = core::ResultRecord::from_json(core::Json(std::move(legacy)));
+  ASSERT_TRUE(derived);
+  EXPECT_EQ(derived.value().failure_stage, "handshake");
+
+  // Successful records never emit the field.
+  core::ResultRecord ok_rec = r;
+  ok_rec.ok = true;
+  ok_rec.error_class.clear();
+  ok_rec.failure_stage.clear();
+  ok_rec.rcode = "NOERROR";
+  EXPECT_TRUE(ok_rec.to_json().at("failure_stage").is_null());
+}
+
+TEST(FlightRecorder, RendersSlowestQueriesAndBreakdown) {
+  const core::CampaignResult result = core::run_parallel_campaign(small_spec(), 2);
+  ASSERT_FALSE(result.records.empty());
+  const std::string report = report::render_flight_recorder(result, 5);
+  EXPECT_NE(report.find("Slowest"), std::string::npos) << report;
+  EXPECT_NE(report.find("exchange"), std::string::npos) << report;
+  // Deterministic: rendering twice gives the same bytes.
+  EXPECT_EQ(report, report::render_flight_recorder(result, 5));
+  // Top-1 is a prefix-sized subset: fewer queries rendered, never more.
+  const std::string top1 = report::render_slowest_queries(result, 1);
+  const std::string top5 = report::render_slowest_queries(result, 5);
+  EXPECT_LT(top1.size(), top5.size());
+}
+
+}  // namespace

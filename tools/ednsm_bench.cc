@@ -4,6 +4,12 @@
 // Usage:
 //   ednsm_bench [--vantages ids] [--rounds N] [--seed S] [--threads N]
 //               [--repeat K] [--json] [--out BENCH_campaign.json]
+//               [--trace-overhead 1] [--profile 1]
+//
+// --trace-overhead re-runs the campaign with tracing enabled and adds
+// trace_on_wall_ms / trace_overhead_pct / trace_identical to the summary
+// (trace_identical asserts the simulated output is byte-identical either
+// way). --profile prints a wall-clock stage breakdown to stderr.
 //
 // Defaults reproduce the Fig. 2 workload: the full Appendix A.2 registry from
 // the four global vantages, 30 rounds. --threads 0 (default) is the legacy
@@ -24,6 +30,7 @@
 #include "core/campaign.h"
 #include "core/json.h"
 #include "core/parallel_campaign.h"
+#include "obs/profile.h"
 #include "resolver/registry.h"
 #include "stats/quantile.h"
 #include "util/strings.h"
@@ -81,33 +88,69 @@ int main(int argc, char** argv) {
     repeat = std::max(1, std::atoi(it->second.c_str()));
   }
 
+  const bool trace_overhead = options.contains("trace-overhead");
+  const bool profile = options.contains("profile");
+
   core::MeasurementSpec spec;
-  for (const auto& s : resolver::paper_resolver_list()) spec.resolvers.push_back(s.hostname);
-  spec.vantage_ids = vantages;
-  spec.rounds = rounds;
-  spec.seed = seed;
+  obs::WallProfiler profiler;
+  {
+    const auto scope = profiler.scope("build-spec");
+    for (const auto& s : resolver::paper_resolver_list()) spec.resolvers.push_back(s.hostname);
+    spec.vantage_ids = vantages;
+    spec.rounds = rounds;
+    spec.seed = seed;
+  }
   if (auto valid = spec.validate(); !valid) {
     std::fprintf(stderr, "invalid bench spec: %s\n", valid.error().c_str());
     return 1;
   }
 
-  core::CampaignResult result;
-  double best_wall_ms = 0.0;
-  for (int run = 0; run < repeat; ++run) {
+  // One timed campaign run; `with_trace` enables tracing for the overhead
+  // comparison (the trace itself is discarded — only the cost matters here).
+  const auto timed_run = [&](bool with_trace, double& wall_ms) {
+    core::CampaignResult r;
     // ednsm-lint: allow(determinism-wallclock) — harness-side wall timing of
     // the simulation; never feeds simulated results.
     const auto start = std::chrono::steady_clock::now();
     if (threads <= 0) {
       core::SimWorld world(seed);
-      result = core::CampaignRunner(world, spec).run();
+      if (with_trace) world.tracer().enable();
+      r = core::CampaignRunner(world, spec).run();
     } else {
-      result = core::run_parallel_campaign(spec, threads);
+      core::CampaignObsOptions obs_options;
+      obs_options.trace = with_trace;
+      core::CampaignObsData obs_data;
+      r = core::run_parallel_campaign(spec, threads, obs_options, &obs_data);
     }
-    const double wall_ms =
+    wall_ms =
         // ednsm-lint: allow(determinism-wallclock) — harness wall timing
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();
-    if (run == 0 || wall_ms < best_wall_ms) best_wall_ms = wall_ms;
+    return r;
+  };
+
+  core::CampaignResult result;
+  double best_wall_ms = 0.0;
+  {
+    const auto scope = profiler.scope("campaign");
+    for (int run = 0; run < repeat; ++run) {
+      double wall_ms = 0.0;
+      result = timed_run(false, wall_ms);
+      if (run == 0 || wall_ms < best_wall_ms) best_wall_ms = wall_ms;
+    }
+  }
+
+  double best_traced_wall_ms = 0.0;
+  bool trace_identical = true;
+  if (trace_overhead) {
+    const auto scope = profiler.scope("campaign-traced");
+    core::CampaignResult traced;
+    for (int run = 0; run < repeat; ++run) {
+      double wall_ms = 0.0;
+      traced = timed_run(true, wall_ms);
+      if (run == 0 || wall_ms < best_traced_wall_ms) best_traced_wall_ms = wall_ms;
+    }
+    trace_identical = traced.to_json().dump(0) == result.to_json().dump(0);
   }
 
   const double records_per_sec =
@@ -128,6 +171,12 @@ int main(int argc, char** argv) {
   o["error_rate"] = core::Json(result.availability.overall().error_rate());
   o["wall_ms"] = core::Json(best_wall_ms);
   o["records_per_sec"] = core::Json(records_per_sec);
+  if (trace_overhead) {
+    o["trace_on_wall_ms"] = core::Json(best_traced_wall_ms);
+    o["trace_overhead_pct"] = core::Json(
+        best_wall_ms > 0.0 ? 100.0 * (best_traced_wall_ms - best_wall_ms) / best_wall_ms : 0.0);
+    o["trace_identical"] = core::Json(trace_identical);
+  }
 
   // Cold/warm medians of simulated response time, keyed off the per-record
   // reuse flag the session layer stamps. Either population can be empty
@@ -157,5 +206,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wall %.1f ms (%0.f records/s) -> %s\n", best_wall_ms, records_per_sec,
                  options.at("out").c_str());
   }
+  if (profile) std::fprintf(stderr, "%s", profiler.report().c_str());
   return 0;
 }

@@ -10,11 +10,19 @@
 //                 [--domains google.com,amazon.com] [--out results.json]
 //                 [--threads N]
 //   ednsm_measure --all-resolvers --vantages ec2-ohio,ec2-seoul
+//   ednsm_measure ... --trace trace.json [--trace-filter transport]
+//                 [--trace-capacity 65536] [--metrics metrics.jsonl]
 //
 // --threads N selects the shard-per-vantage parallel engine with N workers
 // (see core/parallel_campaign.h); its JSON output is byte-identical for every
 // N, including --threads 1. Omitting the flag keeps the legacy single-world
 // engine, whose record stream matches earlier releases exactly.
+//
+// --trace writes a Chrome trace-event JSON (chrome://tracing / Perfetto)
+// timestamped in simulated time; --trace-filter keeps one subsystem ("cat").
+// --metrics writes a JSONL metrics dump (counters + distributions). Neither
+// perturbs the simulation: the results file is byte-identical with or
+// without them.
 //
 // Exit codes: 0 ok, 1 bad usage, 2 invalid spec, 3 I/O error.
 #include <cstdio>
@@ -144,12 +152,35 @@ int main(int argc, char** argv) {
                std::string(client::to_string(spec.value().protocol)).c_str(),
                threads > 0 ? (" (sharded, " + std::to_string(threads) + " threads)").c_str() : "");
 
+  const std::string* trace_path = args.value().get("trace");
+  const std::string* metrics_path = args.value().get("metrics");
+  core::CampaignObsOptions obs_options;
+  obs_options.trace = trace_path != nullptr;
+  obs_options.metrics = metrics_path != nullptr;
+  if (const std::string* cap = args.value().get("trace-capacity")) {
+    const long long parsed = std::atoll(cap->c_str());
+    if (parsed < 1) {
+      std::fprintf(stderr, "error: --trace-capacity requires a positive integer (got %s)\n",
+                   cap->c_str());
+      return 1;
+    }
+    obs_options.trace_capacity = static_cast<std::size_t>(parsed);
+  }
+  const std::string* filter = args.value().get("trace-filter");
+  core::CampaignObsData obs_data;
+
   core::CampaignResult result;
   if (threads > 0) {
-    result = core::run_parallel_campaign(spec.value(), threads);
+    result = core::run_parallel_campaign(spec.value(), threads, obs_options, &obs_data);
   } else {
     core::SimWorld world(spec.value().seed);
+    if (obs_options.trace) world.tracer().enable(obs_options.trace_capacity);
     result = core::CampaignRunner(world, spec.value()).run();
+    if (obs_options.trace) obs_data.trace.add_shard("world", world.tracer().drain());
+    if (obs_options.metrics) {
+      world.collect_metrics(obs_data.metrics);
+      core::collect_result_metrics(result, obs_data.metrics);
+    }
   }
 
   const std::string* out_path = args.value().get("out");
@@ -160,6 +191,28 @@ int main(int argc, char** argv) {
     return 3;
   }
   result.write_json(out);
+
+  if (trace_path != nullptr) {
+    std::ofstream trace_out(*trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path->c_str());
+      return 3;
+    }
+    obs_data.trace.write_chrome_json(trace_out, filter != nullptr ? *filter : std::string_view{});
+    std::fprintf(stderr, "trace: %llu events (%llu dropped) across %zu shards -> %s\n",
+                 static_cast<unsigned long long>(obs_data.trace.total_events()),
+                 static_cast<unsigned long long>(obs_data.trace.total_dropped()),
+                 obs_data.trace.shard_count(), trace_path->c_str());
+  }
+  if (metrics_path != nullptr) {
+    std::ofstream metrics_out(*metrics_path);
+    if (!metrics_out) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path->c_str());
+      return 3;
+    }
+    obs_data.metrics.write_jsonl(metrics_out);
+    std::fprintf(stderr, "metrics -> %s\n", metrics_path->c_str());
+  }
 
   std::fprintf(stderr, "%zu query records, %zu pings; %.2f%% error rate -> %s\n",
                result.records.size(), result.pings.size(),

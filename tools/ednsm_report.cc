@@ -6,6 +6,7 @@
 //   ednsm_report results.json --figure NA --vantage ec2-ohio
 //   ednsm_report results.json --remote-table Asia --near ec2-seoul --far ec2-frankfurt
 //   ednsm_report results.json --winners ec2-ohio
+//   ednsm_report results.json --flight-recorder 10
 //
 // Exit codes: 0 ok, 1 bad usage, 3 I/O / parse error.
 #include <cstdio>
@@ -17,6 +18,7 @@
 #include "core/recommend.h"
 #include "report/decomposition.h"
 #include "report/figures.h"
+#include "report/flight_recorder.h"
 
 using namespace ednsm;
 
@@ -37,7 +39,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ednsm_report <results.json> [--figure NA|EU|Asia --vantage ID]\n"
                  "       [--remote-table NA|EU|Asia --near ID --far ID] [--winners ID]\n"
-                 "       [--recommend ID] [--decomposition table|figure]\n");
+                 "       [--recommend ID] [--decomposition table|figure]\n"
+                 "       [--flight-recorder N]\n");
     return 1;
   }
 
@@ -131,6 +134,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --decomposition takes 'table' or 'figure' (got %s)\n",
                  mode.c_str());
     return 1;
+  }
+
+  if (options.contains("flight-recorder")) {
+    const int top_n = std::atoi(options["flight-recorder"].c_str());
+    if (top_n < 1) {
+      std::fprintf(stderr, "error: --flight-recorder takes a positive count (got %s)\n",
+                   options["flight-recorder"].c_str());
+      return 1;
+    }
+    std::printf("%s", report::render_flight_recorder(result.value(),
+                                                     static_cast<std::size_t>(top_n))
+                          .c_str());
+    return 0;
   }
 
   if (options.contains("winners")) {

@@ -1,0 +1,119 @@
+// ednsm-trace-check: structural validator for the Chrome trace-event JSON
+// that `ednsm_measure --trace` emits. Run in CI after a traced campaign so a
+// schema regression (missing key, wrong phase letter, negative timestamp)
+// fails the build instead of silently producing a file chrome://tracing
+// rejects. Self-contained: only the repo's own JSON parser, no external
+// tooling.
+//
+// Checks:
+//   - the file is one JSON object with a "traceEvents" array
+//   - every event has "ph" in {M, X, i}, a string "name", numeric pid/tid
+//   - "M" metadata events carry args.name (process_name / thread_name)
+//   - "X" complete events have numeric ts >= 0, dur >= 0, and a string "cat"
+//   - "i" instant events have numeric ts >= 0, a string "cat", and "s"
+//   - otherData.dropped_events, when present, is a non-negative number
+//
+// Usage: ednsm_trace_check trace.json [--min-events N]
+// Exit codes: 0 valid, 1 bad usage, 2 validation failure, 3 I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/json.h"
+
+using namespace ednsm;
+
+namespace {
+
+bool fail(std::size_t index, const char* what) {
+  std::fprintf(stderr, "trace-check: event %zu: %s\n", index, what);
+  return false;
+}
+
+bool check_event(const core::Json& e, std::size_t index) {
+  if (!e.is_object()) return fail(index, "not an object");
+  if (!e.at("ph").is_string()) return fail(index, "missing phase \"ph\"");
+  if (!e.at("name").is_string()) return fail(index, "missing \"name\"");
+  if (!e.at("pid").is_number() || !e.at("tid").is_number()) {
+    return fail(index, "missing numeric pid/tid");
+  }
+  const std::string& ph = e.at("ph").as_string();
+  if (ph == "M") {
+    if (!e.at("args").at("name").is_string()) return fail(index, "metadata without args.name");
+    return true;
+  }
+  if (ph != "X" && ph != "i") return fail(index, "unknown phase (expect M, X, or i)");
+  if (!e.at("ts").is_number() || e.at("ts").as_number() < 0) {
+    return fail(index, "missing or negative \"ts\"");
+  }
+  if (!e.at("cat").is_string()) return fail(index, "missing \"cat\"");
+  if (ph == "X" && (!e.at("dur").is_number() || e.at("dur").as_number() < 0)) {
+    return fail(index, "complete event without non-negative \"dur\"");
+  }
+  if (ph == "i" && !e.at("s").is_string()) return fail(index, "instant event without \"s\"");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: ednsm_trace_check trace.json [--min-events N]\n");
+    return 1;
+  }
+  long long min_events = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--min-events" && i + 1 < argc) {
+      min_events = std::atoll(argv[++i]);
+    } else {
+      std::fprintf(stderr, "trace-check: unknown argument %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace-check: cannot open %s\n", argv[1]);
+    return 3;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto json = core::Json::parse(buffer.str());
+  if (!json) {
+    std::fprintf(stderr, "trace-check: not valid JSON: %s\n", json.error().c_str());
+    return 2;
+  }
+  const core::Json& root = json.value();
+  if (!root.is_object() || !root.at("traceEvents").is_array()) {
+    std::fprintf(stderr, "trace-check: missing traceEvents array\n");
+    return 2;
+  }
+
+  const core::JsonArray& events = root.at("traceEvents").as_array();
+  std::size_t metadata = 0;
+  std::size_t payload = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!check_event(events[i], i)) return 2;
+    if (events[i].at("ph").as_string() == "M") {
+      ++metadata;
+    } else {
+      ++payload;
+    }
+  }
+
+  const core::Json& dropped = root.at("otherData").at("dropped_events");
+  if (!dropped.is_null() && (!dropped.is_number() || dropped.as_number() < 0)) {
+    std::fprintf(stderr, "trace-check: otherData.dropped_events is not a non-negative number\n");
+    return 2;
+  }
+
+  if (payload < static_cast<std::size_t>(min_events)) {
+    std::fprintf(stderr, "trace-check: %zu payload events, expected at least %lld\n", payload,
+                 min_events);
+    return 2;
+  }
+  std::printf("trace-check: ok — %zu payload events, %zu metadata records\n", payload, metadata);
+  return 0;
+}

@@ -27,6 +27,7 @@ constexpr std::string_view kPhaseSum = "phase-sum";
 constexpr std::string_view kPragmaOnce = "hygiene-pragma-once";
 constexpr std::string_view kUsingNamespace = "hygiene-using-namespace";
 constexpr std::string_view kNodiscardResult = "hygiene-nodiscard-result";
+constexpr std::string_view kObsSpanBalance = "obs-span-balance";
 
 const std::vector<RuleInfo> kRules = {
     {kUnorderedIter,
@@ -49,6 +50,9 @@ const std::vector<RuleInfo> kRules = {
     {kNodiscardResult,
      "function declared to return Result<...> without [[nodiscard]]: dropped "
      "errors vanish silently"},
+    {kObsSpanBalance,
+     "manual Tracer begin_span/end_span call outside src/obs: hand-paired "
+     "spans leak on early return or exception; use the OBS_SPAN RAII macro"},
 };
 
 // ---------------------------------------------------------------------------
@@ -937,6 +941,26 @@ void check_nodiscard_result(const Prepared& p, std::vector<Diagnostic>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: obs-span-balance
+// ---------------------------------------------------------------------------
+
+void check_obs_span_balance(const Prepared& p, std::vector<Diagnostic>& out) {
+  // src/obs implements the span protocol itself (SpanGuard pairs the calls);
+  // everywhere else must go through the OBS_SPAN macro so scopes self-close.
+  if (path_contains(p.file->path, "obs/")) return;
+  const std::string_view code = p.code;
+  for (const std::string_view word :
+       {std::string_view("begin_span"), std::string_view("end_span")}) {
+    for (std::size_t pos = find_word(code, word); pos != std::string_view::npos;
+         pos = find_word(code, word, pos + 1)) {
+      out.push_back({std::string(p.file->path), line_of(p, pos), std::string(kObsSpanBalance),
+                     "manual '" + std::string(word) + "' call: hand-paired spans leak on "
+                     "early return or exception; use the OBS_SPAN RAII macro"});
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -975,6 +999,7 @@ std::vector<Diagnostic> run_lint(const std::vector<SourceFile>& files) {
     check_pragma_once(p, diags);
     check_using_namespace(p, diags);
     check_nodiscard_result(p, diags);
+    check_obs_span_balance(p, diags);
   }
   check_codec_parity(prepared, structs, diags);
   check_phase_sum(prepared, structs, diags);
