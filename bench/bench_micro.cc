@@ -17,6 +17,7 @@
 #include "http/hpack.h"
 #include "netsim/path.h"
 #include "netsim/rng.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "resolver/cache.h"
 #include "resolver/server.h"
@@ -311,6 +312,43 @@ void BM_NameCompressionEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NameCompressionEncode);
+
+// TimeSeries fold: the monitor's per-record hot path (intern + map upsert +
+// histogram add). 4 resolvers x 2 vantages cycling over 30 epoch buckets.
+void BM_TimeSeriesFold(benchmark::State& state) {
+  const char* resolvers[] = {"dns.google", "dns.quad9.net", "ordns.he.net", "doh.ffmuc.net"};
+  const char* vantages[] = {"ec2-ohio", "ec2-frankfurt"};
+  std::int64_t i = 0;
+  obs::TimeSeries ts(1);
+  for (auto _ : state) {
+    const char* r = resolvers[i % 4];
+    const char* v = vantages[i % 2];
+    const std::int64_t epoch = i % 30;
+    ts.add_counter("monitor.queries", v, r, "DoH", epoch);
+    ts.observe("monitor.response_ms", v, r, "DoH", epoch,
+               static_cast<double>(20 + i % 400));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimeSeriesFold);
+
+void BM_TimeSeriesBinaryRoundTrip(benchmark::State& state) {
+  obs::TimeSeries ts(1);
+  for (std::int64_t i = 0; i < 2000; ++i) {
+    ts.add_counter("monitor.queries", i % 2 ? "v-a" : "v-b", "dns.google", "DoH", i % 30);
+    ts.observe("monitor.response_ms", i % 2 ? "v-a" : "v-b", "dns.google", "DoH", i % 30,
+               static_cast<double>(i % 500));
+  }
+  for (auto _ : state) {
+    const util::Bytes blob = ts.to_binary();
+    auto back = obs::TimeSeries::from_binary(blob);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ts.to_binary().size()));
+}
+BENCHMARK(BM_TimeSeriesBinaryRoundTrip);
 
 }  // namespace
 

@@ -131,6 +131,22 @@ CampaignResult CampaignRunner::run() {
   // RNG consumption order) is independent of round scheduling.
   for (const std::string& vid : spec_.vantage_ids) (void)world_.vantage(vid);
 
+  // Scripted outages: take the resolver offline at the start of from_round
+  // and restore it at the start of to_round. Scheduled before the round
+  // probes so same-instant ties (the queue fires ties in schedule order)
+  // apply the fault before any query of that round. set_behavior draws no
+  // RNG, so an empty fault list leaves the run byte-identical.
+  for (const FaultWindow& w : spec_.fault_windows) {
+    world_.queue().schedule_at(base + scheduler.round_start(w.from_round, 0),
+                               [this, hostname = w.resolver] {
+                                 world_.fleet().set_offline(hostname, true);
+                               });
+    world_.queue().schedule_at(base + scheduler.round_start(w.to_round, 0),
+                               [this, hostname = w.resolver] {
+                                 world_.fleet().set_offline(hostname, false);
+                               });
+  }
+
   for (int round = 0; round < spec_.rounds; ++round) {
     for (std::size_t vi = 0; vi < spec_.vantage_ids.size(); ++vi) {
       const std::string vantage_id = spec_.vantage_ids[vi];

@@ -30,6 +30,27 @@ Result<client::Protocol> parse_protocol(const std::string& s) {
 
 }  // namespace
 
+Json FaultWindow::to_json() const {
+  JsonObject o;
+  o["resolver"] = resolver;
+  o["from_round"] = from_round;
+  o["to_round"] = to_round;
+  return Json(std::move(o));
+}
+
+Result<FaultWindow> FaultWindow::from_json(const Json& j) {
+  if (!j.is_object()) return Err{std::string("fault window: not an object")};
+  FaultWindow w;
+  if (!j.at("resolver").is_string() || !j.at("from_round").is_number() ||
+      !j.at("to_round").is_number()) {
+    return Err{std::string("fault window: missing required fields")};
+  }
+  w.resolver = j.at("resolver").as_string();
+  w.from_round = static_cast<int>(j.at("from_round").as_number());
+  w.to_round = static_cast<int>(j.at("to_round").as_number());
+  return w;
+}
+
 Result<void> MeasurementSpec::validate() const {
   if (resolvers.empty()) return Err{std::string("spec: no resolvers")};
   if (domains.empty()) return Err{std::string("spec: no domains")};
@@ -43,6 +64,12 @@ Result<void> MeasurementSpec::validate() const {
   }
   if (query_options.timeout <= netsim::kZeroDuration) {
     return Err{std::string("spec: query timeout must be positive")};
+  }
+  for (const FaultWindow& w : fault_windows) {
+    if (w.resolver.empty()) return Err{std::string("spec: fault window needs a resolver")};
+    if (w.from_round < 0 || w.to_round <= w.from_round) {
+      return Err{std::string("spec: fault window rounds must satisfy 0 <= from < to")};
+    }
   }
   return {};
 }
@@ -64,6 +91,12 @@ Json MeasurementSpec::to_json() const {
   o["early_data"] = query_options.offer_early_data;
   o["pad_block"] = static_cast<std::uint64_t>(query_options.pad_block);
   o["seed"] = seed;
+  if (!fault_windows.empty()) {
+    JsonArray arr;
+    arr.reserve(fault_windows.size());
+    for (const FaultWindow& w : fault_windows) arr.push_back(w.to_json());
+    o["fault_windows"] = Json(std::move(arr));
+  }
   return Json(std::move(o));
 }
 
@@ -112,6 +145,13 @@ Result<MeasurementSpec> MeasurementSpec::from_json(const Json& j) {
     }
   }
   if (j.at("seed").is_number()) spec.seed = static_cast<std::uint64_t>(j.at("seed").as_number());
+  if (j.at("fault_windows").is_array()) {
+    for (const Json& e : j.at("fault_windows").as_array()) {
+      auto w = FaultWindow::from_json(e);
+      if (!w) return Err{w.error()};
+      spec.fault_windows.push_back(std::move(w).value());
+    }
+  }
 
   if (auto v = spec.validate(); !v) return Err{v.error()};
   return spec;

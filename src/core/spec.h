@@ -16,6 +16,19 @@
 
 namespace ednsm::core {
 
+// A scripted resolver outage: every site of `resolver` is taken offline for
+// rounds [from_round, to_round). Deterministic fault-schedule hook for the
+// longitudinal monitor — tests inject an outage here and assert the detector
+// recovers it exactly.
+struct FaultWindow {
+  std::string resolver;
+  int from_round = 0;
+  int to_round = 0;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static Result<FaultWindow> from_json(const Json& j);
+};
+
 struct MeasurementSpec {
   std::vector<std::string> resolvers;  // hostnames from the registry
   std::vector<std::string> domains = {"google.com", "amazon.com", "wikipedia.com"};
@@ -26,6 +39,9 @@ struct MeasurementSpec {
   netsim::SimDuration round_interval = std::chrono::hours(8);  // "three times a day"
   netsim::SimDuration ping_timeout = std::chrono::seconds(3);
   std::uint64_t seed = 1;
+  // Scripted outages applied by CampaignRunner; empty (the default) leaves
+  // campaign behavior byte-identical to specs written before the field.
+  std::vector<FaultWindow> fault_windows;
 
   // Validate invariants (non-empty lists, positive rounds); returns an
   // explanation on failure.

@@ -1,0 +1,124 @@
+#include "monitor/prom.h"
+
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace ednsm::monitor {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return std::string(buf);
+}
+
+std::string sanitize(std::string_view name) {
+  std::string out = "ednsm_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string label_escape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string labels_of(const obs::SeriesPoint& p, std::string_view extra = {}) {
+  std::string out = "{vantage=\"" + label_escape(p.vantage) + "\",resolver=\"" +
+                    label_escape(p.resolver) + "\",protocol=\"" + label_escape(p.protocol) + "\"";
+  if (!extra.empty()) {
+    out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+// Collapsed-across-buckets accumulator for one (metric, labels) series.
+struct Collapsed {
+  double counter = 0.0;
+  std::int64_t gauge_bucket = std::numeric_limits<std::int64_t>::min();
+  double gauge = 0.0;
+  stats::Welford welford;
+  stats::Histogram histogram{obs::TimeSeries::kHistBinWidthMs, obs::TimeSeries::kHistBins};
+};
+
+}  // namespace
+
+std::string to_prometheus(const obs::TimeSeries& series) {
+  // snapshot() is sorted by (metric, vantage, resolver, protocol, kind,
+  // bucket); a sorted map keyed the same way keeps emission deterministic.
+  using SeriesKey = std::tuple<std::string, std::string, std::string, std::string, std::string>;
+  std::map<SeriesKey, Collapsed> collapsed;
+  std::map<SeriesKey, obs::SeriesPoint> label_points;  // representative labels
+
+  for (const obs::SeriesPoint& p : series.snapshot()) {
+    SeriesKey key{p.metric, p.kind, p.vantage, p.resolver, p.protocol};
+    Collapsed& c = collapsed[key];
+    if (p.kind == "counter") {
+      c.counter += p.value;
+    } else if (p.kind == "gauge") {
+      if (p.bucket >= c.gauge_bucket) {
+        c.gauge_bucket = p.bucket;
+        c.gauge = p.value;
+      }
+    } else {
+      c.welford.merge(stats::Welford::from_moments(p.count, p.mean, p.m2, p.min, p.max));
+      for (const auto& [bin, n] : p.bins) (void)c.histogram.add_count(bin, n);
+    }
+    label_points.emplace(key, p);
+  }
+
+  std::ostringstream os;
+  std::string last_header;  // one # TYPE block per (metric, kind)
+  for (const auto& [key, c] : collapsed) {
+    const auto& [metric, kind, vantage, resolver, protocol] = key;
+    const obs::SeriesPoint& p = label_points.at(key);
+    const std::string name = sanitize(metric);
+    if (kind == "counter") {
+      const std::string full = name + "_total";
+      if (last_header != full) {
+        os << "# TYPE " << full << " counter\n";
+        last_header = full;
+      }
+      os << full << labels_of(p) << ' ' << fmt_double(c.counter) << '\n';
+    } else if (kind == "gauge") {
+      if (last_header != name) {
+        os << "# TYPE " << name << " gauge\n";
+        last_header = name;
+      }
+      os << name << labels_of(p) << ' ' << fmt_double(c.gauge) << '\n';
+    } else {
+      if (last_header != name) {
+        os << "# TYPE " << name << " summary\n";
+        last_header = name;
+      }
+      for (const double q : {0.5, 0.95, 0.99}) {
+        const double value = c.welford.count() > 0 ? c.histogram.approx_quantile(q) : 0.0;
+        os << name << labels_of(p, "quantile=\"" + fmt_double(q) + "\"") << ' '
+           << fmt_double(value) << '\n';
+      }
+      os << name << "_sum" << labels_of(p) << ' '
+         << fmt_double(c.welford.mean() * static_cast<double>(c.welford.count())) << '\n';
+      os << name << "_count" << labels_of(p) << ' ' << c.welford.count() << '\n';
+    }
+  }
+  return std::move(os).str();
+}
+
+}  // namespace ednsm::monitor

@@ -1,0 +1,19 @@
+// Prometheus text exposition (version 0.0.4) of a TimeSeries snapshot.
+//
+// The store keeps history per bucket; Prometheus wants a point-in-time
+// scrape, so series collapse across buckets: counters sum (they are
+// monotonic totals), gauges take the highest bucket's value (most recent),
+// histograms merge and export summary-style quantiles plus _sum/_count.
+// Metric names are prefixed "ednsm_" and sanitized ('.', '-', '/' -> '_');
+// output order is deterministic (metric name, then label set).
+#pragma once
+
+#include <string>
+
+#include "obs/timeseries.h"
+
+namespace ednsm::monitor {
+
+[[nodiscard]] std::string to_prometheus(const obs::TimeSeries& series);
+
+}  // namespace ednsm::monitor

@@ -5,6 +5,7 @@
 #include <map>
 #include <numeric>
 #include <sstream>
+#include <tuple>
 
 #include "client/query.h"
 
@@ -83,10 +84,14 @@ Table failure_breakdown_table(const core::CampaignResult& result) {
 std::string render_slowest_queries(const core::CampaignResult& result, std::size_t top_n) {
   std::vector<std::size_t> order(result.records.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
-  // stable_sort on response time only: equal times keep canonical record
-  // order, so the listing is thread-count independent like the records are.
+  // Equal durations tie-break on (vantage, resolver, round) so the listing is
+  // deterministic even for records loaded from files whose order is not the
+  // canonical merge order; stable_sort keeps record order for full ties.
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return result.records[a].response_ms > result.records[b].response_ms;
+    const core::ResultRecord& ra = result.records[a];
+    const core::ResultRecord& rb = result.records[b];
+    if (ra.response_ms != rb.response_ms) return ra.response_ms > rb.response_ms;
+    return std::tie(ra.vantage, ra.resolver, ra.round) < std::tie(rb.vantage, rb.resolver, rb.round);
   });
   if (order.size() > top_n) order.resize(top_n);
 

@@ -20,6 +20,13 @@ void Histogram::add(double value_ms) noexcept {
   }
 }
 
+bool Histogram::add_count(std::size_t bin, std::uint64_t count) noexcept {
+  if (bin >= counts_.size()) return false;
+  counts_[bin] += count;
+  total_ += count;
+  return true;
+}
+
 bool Histogram::merge(const Histogram& other) noexcept {
   if (width_ != other.width_ || counts_.size() != other.counts_.size()) return false;
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];

@@ -28,6 +28,11 @@ class Histogram {
   // returning false) rather than silently mis-binned.
   bool merge(const Histogram& other) noexcept;
 
+  // Bulk-load `count` samples directly into bin `bin` (the last bin is the
+  // overflow bin) — the codec-side inverse of reading bins(). Returns false
+  // (no-op) when `bin` is out of range.
+  bool add_count(std::size_t bin, std::uint64_t count) noexcept;
+
  private:
   double width_;
   std::vector<std::uint64_t> counts_;  // last element = overflow

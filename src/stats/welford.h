@@ -20,6 +20,9 @@ class Welford {
 
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
+  // Raw second central moment (sum of squared deviations). Exposed so codecs
+  // can persist the accumulator exactly; variance() derives from it.
+  [[nodiscard]] double m2() const noexcept { return m2_; }
   [[nodiscard]] double variance() const noexcept {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
@@ -29,6 +32,21 @@ class Welford {
 
   // Merge another accumulator (parallel combination of Chan et al.).
   void merge(const Welford& other) noexcept;
+
+  // Rebuild an accumulator from persisted moments (the inverse of reading
+  // count/mean/m2/min/max). n == 0 yields a fresh, empty accumulator no
+  // matter what the other arguments say.
+  [[nodiscard]] static Welford from_moments(std::uint64_t n, double mean, double m2, double min,
+                                            double max) noexcept {
+    Welford w;
+    if (n == 0) return w;
+    w.n_ = n;
+    w.mean_ = mean;
+    w.m2_ = m2;
+    w.min_ = min;
+    w.max_ = max;
+    return w;
+  }
 
  private:
   std::uint64_t n_ = 0;

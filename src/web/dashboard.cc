@@ -1,0 +1,236 @@
+#include "web/dashboard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/json.h"
+#include "geo/coords.h"
+#include "resolver/registry.h"
+
+namespace ednsm::web {
+
+namespace {
+
+std::string fmt(double v, const char* spec = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return std::string(buf);
+}
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Availability 1.0 -> green, 0.0 -> red, with a gray cell for no data.
+std::string heat_color(double availability) {
+  const double a = std::clamp(availability, 0.0, 1.0);
+  const int r = static_cast<int>(220.0 - 120.0 * a);
+  const int g = static_cast<int>(60.0 + 140.0 * a);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x50", r, g);
+  return std::string(buf);
+}
+
+const char* event_color(std::string_view type) {
+  if (type == "outage") return "#c0392b";
+  if (type == "degradation") return "#e67e22";
+  return "#8e44ad";  // flap
+}
+
+std::string region_of(const std::string& hostname) {
+  const resolver::ResolverSpec* spec = resolver::find_resolver(hostname);
+  if (spec == nullptr) return "Unknown";
+  return std::string(geo::to_string(spec->continent));
+}
+
+void render_heatmap(std::ostringstream& os, const monitor::MonitorResult& result) {
+  const int epochs = result.spec.epochs;
+  os << "<h2>Availability heatmap</h2>\n<table class=\"heat\">\n<tr><th>vantage / resolver</th>";
+  for (int e = 0; e < epochs; ++e) os << "<th>e" << e << "</th>";
+  os << "</tr>\n";
+  // slos are ordered (vantage, resolver, epoch); rows are epoch-length runs.
+  for (std::size_t i = 0; i < result.slos.size(); i += static_cast<std::size_t>(epochs)) {
+    const monitor::SloSample& head = result.slos[i];
+    os << "<tr><td class=\"lbl\">" << html_escape(head.vantage) << " / "
+       << html_escape(head.resolver) << "</td>";
+    for (int e = 0; e < epochs; ++e) {
+      const monitor::SloSample& s = result.slos[i + static_cast<std::size_t>(e)];
+      if (s.queries == 0) {
+        os << "<td class=\"nodata\" title=\"no data\"></td>";
+        continue;
+      }
+      os << "<td style=\"background:" << heat_color(s.availability) << "\" title=\""
+         << html_escape(head.vantage) << " / " << html_escape(head.resolver) << " epoch " << e
+         << ": " << fmt(s.availability * 100.0) << "% of " << s.queries << " queries, state "
+         << html_escape(s.state) << "\">" << fmt(s.availability * 100.0, "%.0f") << "</td>";
+    }
+    os << "</tr>\n";
+  }
+  os << "</table>\n";
+}
+
+void render_latency_bands(std::ostringstream& os, const monitor::MonitorResult& result) {
+  const int epochs = result.spec.epochs;
+  // Region -> epoch -> (lowest p50, highest p95, mean p50) over all
+  // (vantage, resolver) pairs whose resolver sits in the region.
+  struct Band {
+    double lo = 0.0;
+    double hi = 0.0;
+    double mid = 0.0;
+    int n = 0;
+  };
+  std::map<std::string, std::vector<Band>> regions;
+  for (const monitor::SloSample& s : result.slos) {
+    if (s.window_queries == 0) continue;
+    auto& bands = regions[region_of(s.resolver)];
+    if (bands.empty()) bands.resize(static_cast<std::size_t>(epochs));
+    Band& b = bands[static_cast<std::size_t>(s.epoch)];
+    if (b.n == 0) {
+      b.lo = s.p50_ms;
+      b.hi = s.p95_ms;
+    } else {
+      b.lo = std::min(b.lo, s.p50_ms);
+      b.hi = std::max(b.hi, s.p95_ms);
+    }
+    b.mid += s.p50_ms;
+    ++b.n;
+  }
+
+  os << "<h2>Per-region latency bands (window p50&ndash;p95)</h2>\n";
+  for (const auto& [region, bands] : regions) {
+    double max_ms = 1.0;
+    for (const Band& b : bands) max_ms = std::max(max_ms, b.hi);
+    const int width = 70 * std::max(epochs - 1, 1) + 60;
+    const int height = 160;
+    const auto x_of = [&](int e) { return 40.0 + 70.0 * e; };
+    const auto y_of = [&](double ms) { return 10.0 + (height - 40.0) * (1.0 - ms / max_ms); };
+
+    os << "<h3>" << html_escape(region) << "</h3>\n";
+    os << "<svg width=\"" << width << "\" height=\"" << height
+       << "\" role=\"img\" aria-label=\"latency band\">\n";
+    // Band polygon: upper edge left->right on p95, lower edge right->left on p50.
+    std::string points;
+    for (int e = 0; e < epochs; ++e) {
+      const Band& b = bands[static_cast<std::size_t>(e)];
+      points += fmt(x_of(e), "%.1f") + "," + fmt(y_of(b.n > 0 ? b.hi : 0.0), "%.1f") + " ";
+    }
+    for (int e = epochs - 1; e >= 0; --e) {
+      const Band& b = bands[static_cast<std::size_t>(e)];
+      points += fmt(x_of(e), "%.1f") + "," + fmt(y_of(b.n > 0 ? b.lo : 0.0), "%.1f") + " ";
+    }
+    os << "  <polygon points=\"" << points << "\" fill=\"#3498db44\" stroke=\"none\"/>\n";
+    // Mean-p50 line.
+    os << "  <polyline fill=\"none\" stroke=\"#2c3e50\" stroke-width=\"1.5\" points=\"";
+    for (int e = 0; e < epochs; ++e) {
+      const Band& b = bands[static_cast<std::size_t>(e)];
+      const double mid = b.n > 0 ? b.mid / b.n : 0.0;
+      os << fmt(x_of(e), "%.1f") << ',' << fmt(y_of(mid), "%.1f") << ' ';
+    }
+    os << "\"/>\n";
+    for (int e = 0; e < epochs; ++e) {
+      os << "  <text x=\"" << fmt(x_of(e), "%.1f") << "\" y=\"" << height - 8
+         << "\" class=\"tick\">e" << e << "</text>\n";
+    }
+    os << "  <text x=\"2\" y=\"14\" class=\"tick\">" << fmt(max_ms) << " ms</text>\n";
+    os << "</svg>\n";
+  }
+}
+
+void render_event_timeline(std::ostringstream& os, const monitor::MonitorResult& result) {
+  os << "<h2>Event timeline</h2>\n";
+  if (result.events.empty()) {
+    os << "<p>No events.</p>\n";
+    return;
+  }
+  const int epochs = result.spec.epochs;
+  const int row_h = 22;
+  const int label_w = 320;
+  const double cell_w = 40.0;
+  const int width = label_w + static_cast<int>(cell_w) * epochs + 10;
+  const int height = row_h * static_cast<int>(result.events.size()) + 30;
+  os << "<svg width=\"" << width << "\" height=\"" << height
+     << "\" role=\"img\" aria-label=\"event timeline\">\n";
+  for (int e = 0; e <= epochs; ++e) {
+    const double x = label_w + cell_w * e;
+    os << "  <line x1=\"" << fmt(x, "%.1f") << "\" y1=\"0\" x2=\"" << fmt(x, "%.1f")
+       << "\" y2=\"" << height - 20 << "\" stroke=\"#eee\"/>\n";
+    if (e < epochs) {
+      os << "  <text x=\"" << fmt(x + cell_w / 2 - 6, "%.1f") << "\" y=\"" << height - 6
+         << "\" class=\"tick\">e" << e << "</text>\n";
+    }
+  }
+  int row = 0;
+  for (const monitor::MonitorEvent& ev : result.events) {
+    const double y = 4.0 + row_h * row;
+    os << "  <text x=\"4\" y=\"" << fmt(y + 12.0, "%.1f") << "\" class=\"lbl\">"
+       << html_escape(ev.vantage) << " / " << html_escape(ev.resolver) << "</text>\n";
+    const double x0 = label_w + cell_w * ev.start_epoch;
+    const double w = cell_w * (ev.end_epoch - ev.start_epoch + 1);
+    os << "  <rect x=\"" << fmt(x0, "%.1f") << "\" y=\"" << fmt(y, "%.1f") << "\" width=\""
+       << fmt(w, "%.1f") << "\" height=\"" << row_h - 8 << "\" rx=\"3\" fill=\""
+       << event_color(ev.type) << "\"><title>" << html_escape(ev.type) << " epochs "
+       << ev.start_epoch << "&ndash;" << ev.end_epoch
+       << (ev.transitions > 0 ? " (" + std::to_string(ev.transitions) + " transitions)" : "")
+       << "</title></rect>\n";
+    ++row;
+  }
+  os << "</svg>\n";
+  os << "<p class=\"legend\"><span style=\"color:#c0392b\">&#9632;</span> outage "
+        "<span style=\"color:#e67e22\">&#9632;</span> degradation "
+        "<span style=\"color:#8e44ad\">&#9632;</span> flap</p>\n";
+}
+
+}  // namespace
+
+std::string render_monitor_dashboard(const monitor::MonitorResult& result) {
+  std::ostringstream os;
+  os << "<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+     << "<title>ednsm monitor dashboard</title>\n<style>\n"
+     << "body{font:14px/1.4 system-ui,sans-serif;margin:24px;color:#222}\n"
+     << "table.heat{border-collapse:collapse}\n"
+     << "table.heat td,table.heat th{border:1px solid #ccc;padding:2px 6px;font-size:12px;"
+        "text-align:center}\n"
+     << "table.heat td.lbl{text-align:left;white-space:nowrap}\n"
+     << "table.heat td.nodata{background:#ddd}\n"
+     << ".tick{font-size:10px;fill:#666}\n"
+     << "svg .lbl{font-size:11px;fill:#222}\n"
+     << ".legend{font-size:12px}\n"
+     << "</style>\n</head>\n<body>\n";
+  os << "<h1>Longitudinal monitor</h1>\n";
+  os << "<p>" << result.spec.epochs << " epochs &times; " << result.spec.base.rounds
+     << " rounds, " << result.spec.base.resolvers.size() << " resolvers from "
+     << result.spec.base.vantage_ids.size() << " vantages over "
+     << html_escape(std::string(client::to_string(result.spec.base.protocol))) << ", seed "
+     << result.spec.base.seed << ". " << result.events.size() << " events.</p>\n";
+
+  os << "<h2>Epochs</h2>\n<table class=\"heat\"><tr><th>epoch</th><th>queries</th>"
+        "<th>failures</th><th>availability</th></tr>\n";
+  for (const monitor::EpochSummary& e : result.epochs) {
+    os << "<tr><td>" << e.epoch << "</td><td>" << e.queries << "</td><td>" << e.failures
+       << "</td><td>" << fmt(e.availability * 100.0, "%.2f") << "%</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  render_heatmap(os, result);
+  render_latency_bands(os, result);
+  render_event_timeline(os, result);
+
+  os << "</body>\n</html>\n";
+  return std::move(os).str();
+}
+
+}  // namespace ednsm::web

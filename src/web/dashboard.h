@@ -1,0 +1,17 @@
+// Self-contained HTML dashboard for a longitudinal monitor run: an
+// availability heatmap over (vantage x resolver) rows and epoch columns, a
+// per-region latency band chart (window p50..p95 per epoch, resolvers
+// grouped by registry continent), and an event timeline. All styling and SVG
+// are inline — the file opens offline, matching the report tools' "artifact
+// you can email" convention.
+#pragma once
+
+#include <string>
+
+#include "monitor/monitor.h"
+
+namespace ednsm::web {
+
+[[nodiscard]] std::string render_monitor_dashboard(const monitor::MonitorResult& result);
+
+}  // namespace ednsm::web

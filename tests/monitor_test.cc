@@ -1,0 +1,471 @@
+// Longitudinal monitor tests: TimeSeries store semantics and codecs (JSONL,
+// binary, SeriesPoint JSON), rolling SLO evaluation, event detection, the
+// scripted-outage fault hook, end-to-end run_monitor determinism across
+// thread counts, Prometheus exposition, and the HTML dashboard.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/campaign.h"
+#include "core/parallel_campaign.h"
+#include "monitor/events.h"
+#include "monitor/monitor.h"
+#include "monitor/prom.h"
+#include "monitor/slo.h"
+#include "obs/timeseries.h"
+#include "web/dashboard.h"
+
+namespace {
+
+using namespace ednsm;
+
+// Shorthand writers for the common single-pair series used below.
+void add_epoch(obs::TimeSeries& ts, int epoch, std::uint64_t queries, std::uint64_t failures,
+               double latency_ms) {
+  ts.add_counter(monitor::kMetricQueries, "v1", "r1", "DoH", epoch, queries);
+  if (failures > 0) ts.add_counter(monitor::kMetricFailures, "v1", "r1", "DoH", epoch, failures);
+  for (std::uint64_t i = 0; i < queries - failures; ++i) {
+    ts.observe(monitor::kMetricResponseMs, "v1", "r1", "DoH", epoch, latency_ms);
+  }
+}
+
+monitor::MonitorSpec small_monitor_spec() {
+  monitor::MonitorSpec spec;
+  spec.base.resolvers = {"dns.google", "ordns.he.net"};
+  spec.base.vantage_ids = {"ec2-ohio"};
+  spec.base.rounds = 2;
+  spec.base.seed = 20260805;
+  spec.epochs = 6;
+  return spec;
+}
+
+TEST(TimeSeries, CountersGaugesHistogramsByBucket) {
+  obs::TimeSeries ts(10);
+  EXPECT_EQ(ts.bucket_of(29), 2);
+  ts.add_counter("q", "v", "r", "DoH", 5, 3);
+  ts.add_counter("q", "v", "r", "DoH", 7);  // same bucket 0
+  ts.add_counter("q", "v", "r", "DoH", 25); // bucket 2
+  EXPECT_EQ(ts.counter_at("q", "v", "r", "DoH", 0), 4u);
+  EXPECT_EQ(ts.counter_at("q", "v", "r", "DoH", 1), 0u);
+  EXPECT_EQ(ts.counter_at("q", "v", "r", "DoH", 2), 1u);
+  EXPECT_EQ(ts.counter_at("q", "other", "r", "DoH", 0), 0u);
+
+  ts.set_gauge("g", "v", "r", "DoH", 5, 1.5);
+  ts.set_gauge("g", "v", "r", "DoH", 9, 2.5);  // same bucket: last write wins
+  EXPECT_DOUBLE_EQ(ts.gauge_at("g", "v", "r", "DoH", 0), 2.5);
+
+  ts.observe("lat", "v", "r", "DoH", 5, 10.0);
+  ts.observe("lat", "v", "r", "DoH", 6, 30.0);
+  const stats::Welford* d = ts.dist_at("lat", "v", "r", "DoH", 0);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 2u);
+  EXPECT_DOUBLE_EQ(d->mean(), 20.0);
+  EXPECT_TRUE(std::isnan(ts.dist_quantile("lat", "v", "r", "DoH", 3, 0.5)));
+
+  // 2 counter buckets + 1 gauge + 1 histogram (both observations share
+  // bucket 0).
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.bucket_range(), (std::pair<std::int64_t, std::int64_t>{0, 2}));
+}
+
+TEST(TimeSeries, WindowQuantileMergesBuckets) {
+  obs::TimeSeries ts(1);
+  for (int i = 0; i < 50; ++i) ts.observe("lat", "v", "r", "DoH", 0, 100.0);
+  for (int i = 0; i < 50; ++i) ts.observe("lat", "v", "r", "DoH", 1, 500.0);
+  const double p50_single = ts.dist_quantile("lat", "v", "r", "DoH", 0, 0.5);
+  EXPECT_NEAR(p50_single, 100.0, obs::TimeSeries::kHistBinWidthMs);
+  // Across both buckets the upper quantile must see bucket 1's samples.
+  const double p95 = ts.window_quantile("lat", "v", "r", "DoH", 0, 1, 0.95);
+  EXPECT_NEAR(p95, 500.0, obs::TimeSeries::kHistBinWidthMs);
+  EXPECT_TRUE(std::isnan(ts.window_quantile("lat", "v", "r", "DoH", 5, 9, 0.5)));
+}
+
+TEST(TimeSeries, SnapshotCanonicalAcrossInternOrder) {
+  // Same logical contents, opposite insertion (and therefore intern) order.
+  obs::TimeSeries a(1), b(1);
+  a.add_counter("m1", "va", "ra", "DoH", 0, 1);
+  a.add_counter("m2", "vb", "rb", "DoT", 1, 2);
+  b.add_counter("m2", "vb", "rb", "DoT", 1, 2);
+  b.add_counter("m1", "va", "ra", "DoH", 0, 1);
+  EXPECT_EQ(a.jsonl(), b.jsonl());
+  EXPECT_EQ(a.to_binary(), b.to_binary());
+}
+
+TEST(TimeSeries, MergeByNameAcrossSymbolTables) {
+  obs::TimeSeries a(1), b(1);
+  a.add_counter("q", "v1", "r1", "DoH", 0, 2);
+  b.add_counter("extra", "v9", "r9", "DoH", 0, 7);  // interned first in b only
+  b.add_counter("q", "v1", "r1", "DoH", 0, 5);
+  b.set_gauge("g", "v1", "r1", "DoH", 0, 1.0);
+  a.observe("lat", "v1", "r1", "DoH", 0, 10.0);
+  b.observe("lat", "v1", "r1", "DoH", 0, 20.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter_at("q", "v1", "r1", "DoH", 0), 7u);
+  EXPECT_EQ(a.counter_at("extra", "v9", "r9", "DoH", 0), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge_at("g", "v1", "r1", "DoH", 0), 1.0);
+  const stats::Welford* d = a.dist_at("lat", "v1", "r1", "DoH", 0);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 2u);
+  EXPECT_DOUBLE_EQ(d->mean(), 15.0);
+
+  // Merging an empty store in either direction is a no-op on contents.
+  obs::TimeSeries empty(1);
+  const std::string before = a.jsonl();
+  a.merge(empty);
+  EXPECT_EQ(a.jsonl(), before);
+  empty.merge(a);
+  EXPECT_EQ(empty.jsonl(), before);
+}
+
+TEST(TimeSeries, JsonlRoundTripIsExact) {
+  obs::TimeSeries ts(3);
+  ts.add_counter("q", "v1", "r1", "DoH", 0, 4);
+  ts.set_gauge("g", "v1", "r1", "DoH", 3, 2.25);
+  for (int i = 0; i < 17; ++i) ts.observe("lat", "v1", "r1", "DoH", 6, 12.5 * i);
+  const std::string text = ts.jsonl();
+
+  auto back = obs::TimeSeries::read_jsonl(text);
+  ASSERT_TRUE(back) << back.error();
+  EXPECT_EQ(back.value().bucket_width(), 3);
+  EXPECT_EQ(back.value().jsonl(), text);
+  // Histogram accumulators survive exactly, not approximately.
+  const stats::Welford* d = back.value().dist_at("lat", "v1", "r1", "DoH", 2);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 17u);
+  EXPECT_DOUBLE_EQ(d->mean(), ts.dist_at("lat", "v1", "r1", "DoH", 2)->mean());
+  EXPECT_DOUBLE_EQ(d->m2(), ts.dist_at("lat", "v1", "r1", "DoH", 2)->m2());
+
+  EXPECT_FALSE(obs::TimeSeries::read_jsonl(""));
+  EXPECT_FALSE(obs::TimeSeries::read_jsonl("{\"kind\":\"point\"}"));
+}
+
+TEST(TimeSeries, BinaryRoundTripAndValidation) {
+  obs::TimeSeries ts(2);
+  ts.add_counter("q", "v1", "r1", "DoH", 0, 9);
+  ts.set_gauge("g", "v2", "r2", "DoT", 4, -1.5);
+  for (int i = 0; i < 40; ++i) ts.observe("lat", "v1", "r1", "DoH", 2, 7.0 * i);
+  const util::Bytes blob = ts.to_binary();
+
+  auto back = obs::TimeSeries::from_binary(blob);
+  ASSERT_TRUE(back) << back.error();
+  EXPECT_EQ(back.value().jsonl(), ts.jsonl());
+  EXPECT_EQ(back.value().to_binary(), blob);
+
+  // Corruption: wrong magic, truncation, and trailing garbage all fail.
+  util::Bytes bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(obs::TimeSeries::from_binary(bad_magic));
+  util::Bytes truncated(blob.begin(), blob.begin() + static_cast<long>(blob.size() / 2));
+  EXPECT_FALSE(obs::TimeSeries::from_binary(truncated));
+  util::Bytes trailing = blob;
+  trailing.push_back(0);
+  EXPECT_FALSE(obs::TimeSeries::from_binary(trailing));
+  EXPECT_FALSE(obs::TimeSeries::from_binary(util::Bytes{}));
+}
+
+TEST(TimeSeries, SeriesPointCodecAndInsertValidation) {
+  obs::TimeSeries ts(1);
+  ts.observe("lat", "v", "r", "DoH", 0, 42.0);
+  const std::vector<obs::SeriesPoint> points = ts.snapshot();
+  ASSERT_EQ(points.size(), 1u);
+  auto round = obs::SeriesPoint::from_json(points[0].to_json());
+  ASSERT_TRUE(round) << round.error();
+  EXPECT_EQ(round.value().kind, "histogram");
+  EXPECT_EQ(round.value().count, 1u);
+
+  obs::SeriesPoint bad_kind = points[0];
+  bad_kind.kind = "summary";
+  obs::TimeSeries target(1);
+  EXPECT_FALSE(target.insert(bad_kind));
+  obs::SeriesPoint bad_bin = points[0];
+  // kHistBins itself is the overflow bin; one past it is out of range.
+  bad_bin.bins = {{static_cast<std::uint32_t>(obs::TimeSeries::kHistBins) + 1, 1}};
+  EXPECT_FALSE(target.insert(bad_bin));
+  EXPECT_TRUE(target.insert(points[0]));
+}
+
+TEST(Slo, StatesFollowEpochAndWindowSignals) {
+  obs::TimeSeries ts(1);
+  add_epoch(ts, 0, 10, 0, 50.0);
+  add_epoch(ts, 1, 10, 10, 0.0);   // full outage epoch
+  add_epoch(ts, 2, 10, 0, 50.0);
+  add_epoch(ts, 3, 10, 0, 50.0);
+  add_epoch(ts, 4, 10, 0, 50.0);
+
+  monitor::SloConfig config;
+  config.window_epochs = 2;
+  const std::vector<monitor::SloSample> slos =
+      monitor::evaluate_slos(ts, config, {"v1"}, {"r1"}, "DoH", 5);
+  ASSERT_EQ(slos.size(), 5u);
+  EXPECT_EQ(slos[0].state, "healthy");
+  EXPECT_EQ(slos[1].state, "outage");
+  EXPECT_DOUBLE_EQ(slos[1].availability, 0.0);
+  // Epoch 2 recovered, but its window still contains the outage: degraded
+  // (window availability 0.5 < any tier's floor).
+  EXPECT_EQ(slos[2].state, "degraded");
+  EXPECT_DOUBLE_EQ(slos[2].window_availability, 0.5);
+  EXPECT_EQ(slos[3].state, "healthy");
+  EXPECT_EQ(slos[4].state, "healthy");
+}
+
+TEST(Slo, LatencyBreachDegradesPerTier) {
+  obs::TimeSeries ts(1);
+  // 300 ms p50: inside hobbyist targets, far outside hyperscale's 120 ms.
+  ts.add_counter(monitor::kMetricQueries, "v1", "dns.google", "DoH", 0, 10);
+  ts.add_counter(monitor::kMetricQueries, "v1", "unknown.example", "DoH", 0, 10);
+  for (int i = 0; i < 10; ++i) {
+    ts.observe(monitor::kMetricResponseMs, "v1", "dns.google", "DoH", 0, 300.0);
+    ts.observe(monitor::kMetricResponseMs, "v1", "unknown.example", "DoH", 0, 300.0);
+  }
+  monitor::SloConfig config;
+  const std::vector<monitor::SloSample> slos =
+      monitor::evaluate_slos(ts, config, {"v1"}, {"dns.google", "unknown.example"}, "DoH", 1);
+  ASSERT_EQ(slos.size(), 2u);
+  EXPECT_EQ(slos[0].resolver, "dns.google");
+  EXPECT_EQ(slos[0].state, "degraded");
+  EXPECT_EQ(slos[1].state, "healthy");  // unknown hostname judged as hobbyist
+}
+
+TEST(Slo, EmptySeriesIsHealthy) {
+  const obs::TimeSeries ts(1);
+  monitor::SloConfig config;
+  const std::vector<monitor::SloSample> slos =
+      monitor::evaluate_slos(ts, config, {"v1"}, {"r1"}, "DoH", 3);
+  ASSERT_EQ(slos.size(), 3u);
+  for (const monitor::SloSample& s : slos) {
+    EXPECT_EQ(s.state, "healthy");
+    EXPECT_EQ(s.queries, 0u);
+    EXPECT_DOUBLE_EQ(s.availability, 1.0);
+    EXPECT_DOUBLE_EQ(s.p99_ms, 0.0);  // NaN-free JSON for empty windows
+  }
+}
+
+TEST(Events, MaximalRunsWithExactBounds) {
+  obs::TimeSeries ts(1);
+  add_epoch(ts, 0, 10, 0, 50.0);
+  add_epoch(ts, 1, 10, 10, 0.0);
+  add_epoch(ts, 2, 10, 10, 0.0);
+  add_epoch(ts, 3, 10, 0, 50.0);
+  add_epoch(ts, 4, 10, 0, 50.0);
+  add_epoch(ts, 5, 10, 0, 50.0);
+
+  monitor::SloConfig config;
+  config.window_epochs = 1;  // no smear: isolate the outage run
+  config.flap_transitions = 5;
+  const std::vector<monitor::SloSample> slos =
+      monitor::evaluate_slos(ts, config, {"v1"}, {"r1"}, "DoH", 6);
+  const std::vector<monitor::MonitorEvent> events = monitor::detect_events(slos, config);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, "outage");
+  EXPECT_EQ(events[0].start_epoch, 1);
+  EXPECT_EQ(events[0].end_epoch, 2);
+}
+
+TEST(Events, FlapBracketsTransitions) {
+  obs::TimeSeries ts(1);
+  add_epoch(ts, 0, 10, 0, 50.0);
+  add_epoch(ts, 1, 10, 10, 0.0);
+  add_epoch(ts, 2, 10, 0, 50.0);
+  add_epoch(ts, 3, 10, 10, 0.0);
+
+  monitor::SloConfig config;
+  config.window_epochs = 1;
+  config.flap_transitions = 3;
+  const std::vector<monitor::SloSample> slos =
+      monitor::evaluate_slos(ts, config, {"v1"}, {"r1"}, "DoH", 4);
+  const std::vector<monitor::MonitorEvent> events = monitor::detect_events(slos, config);
+  // Two outage runs plus the flap spanning all three transitions.
+  ASSERT_EQ(events.size(), 3u);
+  const monitor::MonitorEvent* flap = nullptr;
+  for (const monitor::MonitorEvent& e : events) {
+    if (e.type == "flap") flap = &e;
+  }
+  ASSERT_NE(flap, nullptr);
+  EXPECT_EQ(flap->transitions, 3);
+  EXPECT_EQ(flap->start_epoch, 1);
+  EXPECT_EQ(flap->end_epoch, 3);
+
+  auto round = monitor::MonitorEvent::from_json(flap->to_json());
+  ASSERT_TRUE(round) << round.error();
+  EXPECT_EQ(round.value().transitions, 3);
+}
+
+TEST(FaultWindow, SpecCodecAndValidation) {
+  core::MeasurementSpec spec;
+  spec.resolvers = {"dns.google"};
+  spec.vantage_ids = {"ec2-ohio"};
+  spec.rounds = 4;
+  // No windows: key omitted entirely, so pre-monitor result files round-trip.
+  EXPECT_TRUE(spec.to_json().at("fault_windows").is_null());
+
+  spec.fault_windows.push_back(core::FaultWindow{"dns.google", 1, 3});
+  ASSERT_TRUE(spec.validate());
+  auto round = core::MeasurementSpec::from_json(spec.to_json());
+  ASSERT_TRUE(round) << round.error();
+  ASSERT_EQ(round.value().fault_windows.size(), 1u);
+  EXPECT_EQ(round.value().fault_windows[0].resolver, "dns.google");
+  EXPECT_EQ(round.value().fault_windows[0].from_round, 1);
+  EXPECT_EQ(round.value().fault_windows[0].to_round, 3);
+
+  spec.fault_windows[0].to_round = 1;  // empty window
+  EXPECT_FALSE(spec.validate());
+  spec.fault_windows[0] = core::FaultWindow{"", 0, 2};
+  EXPECT_FALSE(spec.validate());
+}
+
+TEST(FaultWindow, CampaignOutageCoversExactRounds) {
+  core::MeasurementSpec spec;
+  spec.resolvers = {"dns.google"};
+  spec.vantage_ids = {"ec2-ohio"};
+  spec.rounds = 4;
+  spec.seed = 7;
+  spec.fault_windows.push_back(core::FaultWindow{"dns.google", 1, 3});
+
+  const core::CampaignResult result = core::run_parallel_campaign(spec, 1);
+  ASSERT_FALSE(result.records.empty());
+  std::uint64_t ok_outside = 0;
+  for (const core::ResultRecord& r : result.records) {
+    if (r.round >= 1 && r.round < 3) {
+      // Offline rounds fail unconditionally.
+      EXPECT_FALSE(r.ok) << "round " << r.round;
+    } else {
+      ok_outside += r.ok ? 1 : 0;
+    }
+  }
+  // The resolver recovered: rounds outside the window still answer.
+  EXPECT_GT(ok_outside, 0u);
+
+  // An identical spec without windows is unaffected by the hook's existence.
+  core::MeasurementSpec clean = spec;
+  clean.fault_windows.clear();
+  const core::CampaignResult clean_result = core::run_parallel_campaign(clean, 1);
+  std::uint64_t clean_ok = 0;
+  for (const core::ResultRecord& r : clean_result.records) clean_ok += r.ok ? 1 : 0;
+  EXPECT_GT(clean_ok, ok_outside);
+}
+
+TEST(Monitor, SpecJsonRoundTripAndValidation) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  spec.outages.push_back(monitor::OutageScript{"dns.google", 2, 4});
+  auto round = monitor::MonitorSpec::from_json(spec.to_json());
+  ASSERT_TRUE(round) << round.error();
+  EXPECT_EQ(round.value().epochs, 6);
+  ASSERT_EQ(round.value().outages.size(), 1u);
+  EXPECT_EQ(round.value().outages[0].to_epoch, 4);
+
+  spec.epochs = 0;
+  EXPECT_FALSE(spec.validate());
+  spec.epochs = 6;
+  spec.outages[0].to_epoch = 2;  // empty window
+  EXPECT_FALSE(spec.validate());
+}
+
+TEST(Monitor, ScriptedOutageYieldsExactlyOneOutageEvent) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  spec.outages.push_back(monitor::OutageScript{"dns.google", 2, 4});
+
+  auto result = monitor::run_monitor(spec, 2);
+  ASSERT_TRUE(result) << result.error();
+  const monitor::MonitorResult& mon = result.value();
+  ASSERT_EQ(mon.epochs.size(), 6u);
+
+  std::vector<const monitor::MonitorEvent*> outages;
+  for (const monitor::MonitorEvent& e : mon.events) {
+    if (e.type == "outage") outages.push_back(&e);
+  }
+  ASSERT_EQ(outages.size(), 1u) << monitor::events_to_json(mon.events).dump(2);
+  EXPECT_EQ(outages[0]->resolver, "dns.google");
+  EXPECT_EQ(outages[0]->vantage, "ec2-ohio");
+  EXPECT_EQ(outages[0]->start_epoch, 2);
+  EXPECT_EQ(outages[0]->end_epoch, 3);  // inclusive: epochs {2, 3} offline
+
+  // The untouched resolver may pick up natural failures from the stochastic
+  // failure model (and briefly dip to "degraded"), but it must never be in
+  // full outage — that state is reserved for the scripted window.
+  for (const monitor::SloSample& s : mon.slos) {
+    if (s.resolver == "ordns.he.net") {
+      EXPECT_NE(s.state, "outage") << "epoch " << s.epoch;
+    }
+  }
+}
+
+TEST(Monitor, RunIsByteIdenticalAcrossThreadCounts) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  spec.base.vantage_ids = {"ec2-ohio", "ec2-frankfurt"};
+  spec.epochs = 3;
+  spec.outages.push_back(monitor::OutageScript{"ordns.he.net", 1, 2});
+
+  auto one = monitor::run_monitor(spec, 1);
+  auto many = monitor::run_monitor(spec, 8);
+  ASSERT_TRUE(one) << one.error();
+  ASSERT_TRUE(many) << many.error();
+  EXPECT_EQ(one.value().to_json().dump(0), many.value().to_json().dump(0));
+  EXPECT_EQ(one.value().series.to_binary(), many.value().series.to_binary());
+  EXPECT_EQ(one.value().series.jsonl(), many.value().series.jsonl());
+}
+
+TEST(Monitor, ResultJsonRoundTripReproducesEvaluation) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  spec.epochs = 4;
+  spec.outages.push_back(monitor::OutageScript{"dns.google", 1, 2});
+  auto result = monitor::run_monitor(spec, 2);
+  ASSERT_TRUE(result) << result.error();
+
+  auto round = monitor::MonitorResult::from_json(result.value().to_json());
+  ASSERT_TRUE(round) << round.error();
+  EXPECT_EQ(round.value().to_json().dump(0), result.value().to_json().dump(0));
+
+  // evaluate_result on the decoded series re-derives the same SLOs/events.
+  monitor::MonitorResult re = round.value();
+  re.slos.clear();
+  re.events.clear();
+  monitor::evaluate_result(re);
+  EXPECT_EQ(re.to_json().dump(0), result.value().to_json().dump(0));
+}
+
+TEST(Monitor, PrometheusExposition) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  spec.epochs = 2;
+  auto result = monitor::run_monitor(spec, 1);
+  ASSERT_TRUE(result) << result.error();
+
+  const std::string text = monitor::to_prometheus(result.value().series);
+  EXPECT_NE(text.find("# TYPE ednsm_monitor_queries_total counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("ednsm_monitor_queries_total{"), std::string::npos);
+  EXPECT_NE(text.find("vantage=\"ec2-ohio\""), std::string::npos);
+  EXPECT_NE(text.find("resolver=\"dns.google\""), std::string::npos);
+  EXPECT_NE(text.find("ednsm_monitor_response_ms{"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.95\""), std::string::npos);
+  EXPECT_NE(text.find("ednsm_monitor_response_ms_count{"), std::string::npos);
+  // Deterministic: same series, same bytes.
+  EXPECT_EQ(text, monitor::to_prometheus(result.value().series));
+}
+
+TEST(Monitor, DashboardRendersSelfContainedHtml) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  spec.epochs = 4;
+  spec.outages.push_back(monitor::OutageScript{"dns.google", 1, 3});
+  auto result = monitor::run_monitor(spec, 2);
+  ASSERT_TRUE(result) << result.error();
+
+  const std::string html = web::render_monitor_dashboard(result.value());
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("Availability heatmap"), std::string::npos);
+  EXPECT_NE(html.find("latency bands"), std::string::npos);
+  EXPECT_NE(html.find("Event timeline"), std::string::npos);
+  EXPECT_NE(html.find("dns.google"), std::string::npos);
+  EXPECT_NE(html.find("outage"), std::string::npos);
+  // Self-contained: no external fetches.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html, web::render_monitor_dashboard(result.value()));
+}
+
+TEST(Monitor, RejectsInvalidInputs) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  EXPECT_FALSE(monitor::run_monitor(spec, 0));
+  spec.base.resolvers.clear();
+  EXPECT_FALSE(monitor::run_monitor(spec, 1));
+}
+
+}  // namespace

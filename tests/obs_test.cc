@@ -152,6 +152,33 @@ TEST(Metrics, MergeCombinesByName) {
   EXPECT_DOUBLE_EQ(d->mean(), 15.0);
 }
 
+TEST(Metrics, MergeWithEmptyShards) {
+  // A shard that recorded nothing must be an identity element on both sides —
+  // the parallel engine merges one registry per shard even when a shard's
+  // vantage issued no queries.
+  obs::Metrics populated;
+  populated.add("x.count", 3);
+  populated.set_gauge("g.shards", 2.0);
+  populated.observe("lat_ms", 12.5);
+
+  obs::Metrics empty;
+  populated.merge(empty);
+  EXPECT_EQ(populated.counter("x.count"), 3u);
+  EXPECT_DOUBLE_EQ(populated.gauge("g.shards"), 2.0);
+  ASSERT_NE(populated.distribution("lat_ms"), nullptr);
+  EXPECT_EQ(populated.distribution("lat_ms")->count(), 1u);
+
+  obs::Metrics target;
+  target.merge(populated);
+  EXPECT_EQ(target.counter("x.count"), 3u);
+  ASSERT_NE(target.distribution("lat_ms"), nullptr);
+  EXPECT_DOUBLE_EQ(target.distribution("lat_ms")->mean(), 12.5);
+
+  obs::Metrics a, b;
+  a.merge(b);  // both empty: still empty, jsonl has no lines
+  EXPECT_TRUE(a.jsonl().empty());
+}
+
 TEST(Metrics, JsonlIsSortedAndParses) {
   obs::Metrics m;
   m.add("zz.last", 1);
@@ -307,6 +334,39 @@ TEST(FlightRecorder, RendersSlowestQueriesAndBreakdown) {
   const std::string top1 = report::render_slowest_queries(result, 1);
   const std::string top5 = report::render_slowest_queries(result, 5);
   EXPECT_LT(top1.size(), top5.size());
+}
+
+TEST(FlightRecorder, EqualDurationsTieBreakOnVantageResolverRound) {
+  // Three records with identical durations, inserted in the reverse of the
+  // (vantage, resolver, round) order the listing must produce. Regression:
+  // the sort used to fall back to insertion order for equal durations, so a
+  // file with non-canonical record order rendered a different top-N.
+  core::CampaignResult result;
+  const auto rec = [](const char* vantage, const char* resolver, int round) {
+    core::ResultRecord r;
+    r.vantage = vantage;
+    r.resolver = resolver;
+    r.round = round;
+    r.domain = "example.com";
+    r.ok = true;
+    r.rcode = "NOERROR";
+    r.response_ms = 120.0;
+    r.exchange_ms = 120.0;
+    return r;
+  };
+  result.records.push_back(rec("v-b", "res-a", 0));
+  result.records.push_back(rec("v-a", "res-b", 1));
+  result.records.push_back(rec("v-a", "res-a", 2));
+
+  const std::string listing = report::render_slowest_queries(result, 3);
+  const std::size_t first = listing.find("v-a -> res-a");
+  const std::size_t second = listing.find("v-a -> res-b");
+  const std::size_t third = listing.find("v-b -> res-a");
+  ASSERT_NE(first, std::string::npos) << listing;
+  ASSERT_NE(second, std::string::npos) << listing;
+  ASSERT_NE(third, std::string::npos) << listing;
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, third);
 }
 
 }  // namespace

@@ -141,6 +141,23 @@ TEST(Welford, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), mean);
 }
 
+TEST(Welford, FromMomentsRoundTripsAccumulators) {
+  Welford w;
+  netsim::Rng rng(11);
+  for (int i = 0; i < 257; ++i) w.add(rng.normal(40, 12));
+  const Welford back = Welford::from_moments(w.count(), w.mean(), w.m2(), w.min(), w.max());
+  EXPECT_EQ(back.count(), w.count());
+  EXPECT_DOUBLE_EQ(back.mean(), w.mean());
+  EXPECT_DOUBLE_EQ(back.m2(), w.m2());
+  EXPECT_DOUBLE_EQ(back.variance(), w.variance());
+  EXPECT_DOUBLE_EQ(back.min(), w.min());
+  EXPECT_DOUBLE_EQ(back.max(), w.max());
+  // A reconstructed accumulator keeps accepting samples.
+  Welford grown = back;
+  grown.add(w.mean());
+  EXPECT_EQ(grown.count(), w.count() + 1);
+}
+
 // ---- histogram ------------------------------------------------------------------
 
 TEST(Histogram, BinPlacement) {
@@ -179,6 +196,58 @@ TEST(Histogram, ApproxQuantileReasonable) {
 TEST(Histogram, EmptyQuantileIsNaN) {
   Histogram h(1.0, 10);
   EXPECT_TRUE(std::isnan(h.approx_quantile(0.5)));
+}
+
+TEST(Histogram, MergeWithZeroSampleSide) {
+  // Merging an empty histogram must be an identity on both sides: shard
+  // merges routinely combine a populated histogram with one whose vantage
+  // recorded no samples.
+  Histogram populated(10.0, 5);
+  populated.add(5.0);
+  populated.add(25.0);
+  Histogram empty(10.0, 5);
+
+  ASSERT_TRUE(populated.merge(empty));
+  EXPECT_EQ(populated.count(), 2u);
+  EXPECT_EQ(populated.bins()[0], 1u);
+  EXPECT_EQ(populated.bins()[2], 1u);
+
+  Histogram target(10.0, 5);
+  ASSERT_TRUE(target.merge(populated));
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_NEAR(target.approx_quantile(0.5), populated.approx_quantile(0.5), 1e-9);
+
+  Histogram a(10.0, 5), b(10.0, 5);
+  ASSERT_TRUE(a.merge(b));  // both empty stays empty
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_TRUE(std::isnan(a.approx_quantile(0.5)));
+
+  // Shape mismatches are still rejected, empty or not.
+  Histogram narrow(10.0, 3);
+  EXPECT_FALSE(populated.merge(narrow));
+}
+
+TEST(Histogram, AddCountBulkLoadsBins) {
+  Histogram h(10.0, 5);
+  ASSERT_TRUE(h.add_count(0, 3));
+  ASSERT_TRUE(h.add_count(5, 2));  // overflow bin index == bins count
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bins()[0], 3u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_FALSE(h.add_count(6, 1));  // out of range: no-op
+  EXPECT_EQ(h.count(), 5u);
+
+  // Bulk-load round-trips the sample-by-sample path.
+  Histogram direct(10.0, 5);
+  direct.add(5.0);
+  direct.add(5.0);
+  direct.add(1000.0);
+  Histogram loaded(10.0, 5);
+  for (std::size_t i = 0; i < direct.bins().size(); ++i) {
+    ASSERT_TRUE(loaded.add_count(i, direct.bins()[i]));
+  }
+  EXPECT_EQ(loaded.bins(), direct.bins());
+  EXPECT_EQ(loaded.count(), direct.count());
 }
 
 // ---- grouped samples -------------------------------------------------------------

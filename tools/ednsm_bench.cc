@@ -159,6 +159,22 @@ int main(int argc, char** argv) {
 
   core::JsonObject o;
   o["bench"] = core::Json(std::string("paper_campaign"));
+  // Attribution header: the fields that pin this row of a perf trajectory to
+  // an exact workload. seed + threads determine the run completely;
+  // effective_threads is the worker count after the engine's clamp to
+  // [1, #shards], so rows from over-provisioned runs compare honestly.
+  {
+    core::JsonObject header;
+    header["bench"] = core::Json(std::string("paper_campaign"));
+    header["schema_version"] = core::Json(2.0);
+    header["seed"] = core::Json(static_cast<double>(seed));
+    header["threads"] = core::Json(static_cast<double>(threads));
+    const std::size_t shards = vantages.size();
+    const std::size_t effective =
+        threads <= 0 ? 1 : std::min(static_cast<std::size_t>(threads), shards);
+    header["effective_threads"] = core::Json(static_cast<double>(effective));
+    o["header"] = core::Json(std::move(header));
+  }
   o["engine"] = core::Json(std::string(threads > 0 ? "sharded" : "legacy"));
   o["threads"] = core::Json(static_cast<double>(threads));
   o["resolvers"] = core::Json(static_cast<double>(spec.resolvers.size()));

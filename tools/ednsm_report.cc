@@ -7,6 +7,7 @@
 //   ednsm_report results.json --remote-table Asia --near ec2-seoul --far ec2-frankfurt
 //   ednsm_report results.json --winners ec2-ohio
 //   ednsm_report results.json --flight-recorder 10
+//   ednsm_report monitor.json --monitor-dashboard dashboard.html
 //
 // Exit codes: 0 ok, 1 bad usage, 3 I/O / parse error.
 #include <cstdio>
@@ -16,9 +17,11 @@
 
 #include "core/campaign.h"
 #include "core/recommend.h"
+#include "monitor/monitor.h"
 #include "report/decomposition.h"
 #include "report/figures.h"
 #include "report/flight_recorder.h"
+#include "web/dashboard.h"
 
 using namespace ednsm;
 
@@ -40,7 +43,8 @@ int main(int argc, char** argv) {
                  "usage: ednsm_report <results.json> [--figure NA|EU|Asia --vantage ID]\n"
                  "       [--remote-table NA|EU|Asia --near ID --far ID] [--winners ID]\n"
                  "       [--recommend ID] [--decomposition table|figure]\n"
-                 "       [--flight-recorder N]\n");
+                 "       [--flight-recorder N]\n"
+                 "       [--monitor-dashboard out.html]   (input: ednsm_monitor run output)\n");
     return 1;
   }
 
@@ -56,12 +60,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", json.error().c_str());
     return 3;
   }
-  auto result = core::CampaignResult::from_json(json.value());
-  if (!result) {
-    std::fprintf(stderr, "error: %s\n", result.error().c_str());
-    return 3;
-  }
-
   std::map<std::string, std::string> options;
   for (int i = 2; i + 1 < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
@@ -69,6 +67,32 @@ int main(int argc, char** argv) {
       return 1;
     }
     options[argv[i] + 2] = argv[i + 1];
+  }
+
+  // Dashboard mode reads a monitor result, not a campaign result — branch
+  // before the campaign parse.
+  if (options.contains("monitor-dashboard")) {
+    auto mon = monitor::MonitorResult::from_json(json.value());
+    if (!mon) {
+      std::fprintf(stderr, "error: %s\n", mon.error().c_str());
+      return 3;
+    }
+    const std::string& out_path = options["monitor-dashboard"];
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 3;
+    }
+    out << web::render_monitor_dashboard(mon.value());
+    std::fprintf(stderr, "dashboard (%zu slo samples, %zu events) -> %s\n",
+                 mon.value().slos.size(), mon.value().events.size(), out_path.c_str());
+    return 0;
+  }
+
+  auto result = core::CampaignResult::from_json(json.value());
+  if (!result) {
+    std::fprintf(stderr, "error: %s\n", result.error().c_str());
+    return 3;
   }
 
   if (options.contains("figure")) {

@@ -12,14 +12,25 @@
 //   - "X" complete events have numeric ts >= 0, dur >= 0, and a string "cat"
 //   - "i" instant events have numeric ts >= 0, a string "cat", and "s"
 //   - otherData.dropped_events, when present, is a non-negative number
+//   - with --nested: complete events on one (pid, tid) must strictly nest —
+//     a span that starts inside another span must end no later than it (a
+//     child outliving its parent means the parent closed before the child)
 //
-// Usage: ednsm_trace_check trace.json [--min-events N]
+// --nested is opt-in because it only holds for traces whose spans follow a
+// call-stack discipline. Campaign traces put every concurrent query of a
+// round on one simulated thread, so their handshake/exchange intervals
+// legitimately overlap without a parent/child relation.
+//
+// Usage: ednsm_trace_check trace.json [--min-events N] [--nested]
 // Exit codes: 0 valid, 1 bad usage, 2 validation failure, 3 I/O error.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/json.h"
 
@@ -56,17 +67,55 @@ bool check_event(const core::Json& e, std::size_t index) {
   return true;
 }
 
+// --nested: complete events on one (pid, tid) must form a proper span tree.
+// Sweep each thread's spans in start order (longest first on ties, so a
+// parent precedes the children sharing its start) with a stack of open span
+// end times; a span that starts inside an open span must close no later.
+bool check_nesting(const core::JsonArray& events) {
+  struct Span {
+    double ts = 0;
+    double dur = 0;
+    std::size_t index = 0;
+  };
+  std::map<std::pair<double, double>, std::vector<Span>> threads;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const core::Json& e = events[i];
+    if (e.at("ph").as_string() != "X") continue;
+    threads[{e.at("pid").as_number(), e.at("tid").as_number()}].push_back(
+        {e.at("ts").as_number(), e.at("dur").as_number(), i});
+  }
+  for (auto& [thread, spans] : threads) {
+    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      if (a.dur != b.dur) return a.dur > b.dur;
+      return a.index < b.index;
+    });
+    std::vector<double> open;  // end times of enclosing spans, outermost first
+    for (const Span& s : spans) {
+      while (!open.empty() && open.back() <= s.ts) open.pop_back();
+      if (!open.empty() && s.ts + s.dur > open.back()) {
+        return fail(s.index, "span outlives its enclosing span (parent closed before child)");
+      }
+      open.push_back(s.ts + s.dur);
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: ednsm_trace_check trace.json [--min-events N]\n");
+    std::fprintf(stderr, "usage: ednsm_trace_check trace.json [--min-events N] [--nested]\n");
     return 1;
   }
   long long min_events = 0;
+  bool nested = false;
   for (int i = 2; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--min-events" && i + 1 < argc) {
       min_events = std::atoll(argv[++i]);
+    } else if (std::string_view(argv[i]) == "--nested") {
+      nested = true;
     } else {
       std::fprintf(stderr, "trace-check: unknown argument %s\n", argv[i]);
       return 1;
@@ -102,6 +151,8 @@ int main(int argc, char** argv) {
       ++payload;
     }
   }
+
+  if (nested && !check_nesting(events)) return 2;
 
   const core::Json& dropped = root.at("otherData").at("dropped_events");
   if (!dropped.is_null() && (!dropped.is_number() || dropped.as_number() < 0)) {
