@@ -3,21 +3,28 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
-#include "netsim/rng.h"
+#include "util/spsc_ring.h"
 
 namespace ednsm::core {
 
 namespace {
 
+// Ring capacities. Task rings are deep enough that expansion runs ahead of
+// simulation without stalling; outcome rings are shallow because outcomes
+// are large (a full single-vantage result) and the collector drains eagerly.
+constexpr std::size_t kTaskRingCapacity = 64;
+constexpr std::size_t kOutcomeRingCapacity = 8;
+
 // Run work(0..n-1) on up to `threads` workers pulling indices from a shared
 // counter. With one worker everything runs inline on the calling thread, so
 // threads=1 has no pool overhead at all. The first exception thrown by any
-// unit is rethrown on the caller after all workers join.
+// unit is rethrown on the caller after all workers join. Used by the
+// seed-sweep workload, where the unit of parallelism is a whole campaign.
 void for_each_shard(std::size_t n, int threads, const std::function<void(std::size_t)>& work) {
   const std::size_t workers =
       std::min<std::size_t>(n, static_cast<std::size_t>(std::max(threads, 1)));
@@ -50,52 +57,107 @@ void for_each_shard(std::size_t n, int threads, const std::function<void(std::si
   if (first_error) std::rethrow_exception(first_error);
 }
 
-// Move `from`'s elements into per-round buckets, preserving relative order.
-template <typename Record>
-std::vector<std::vector<Record>> bucket_by_round(std::vector<Record> from, int rounds) {
-  std::vector<std::vector<Record>> buckets(static_cast<std::size_t>(rounds));
-  for (Record& r : from) {
-    buckets.at(static_cast<std::size_t>(r.round)).push_back(std::move(r));
-  }
-  return buckets;
-}
-
 }  // namespace
 
-std::vector<std::uint64_t> shard_seeds(std::uint64_t spec_seed, std::size_t n) {
-  std::vector<std::uint64_t> seeds(n);
-  std::uint64_t state = spec_seed;
-  for (std::uint64_t& s : seeds) s = netsim::splitmix64(state);
-  return seeds;
-}
+void run_pipeline(const MeasurementSpec& spec, const std::vector<ShardPlan>& plans, int threads,
+                  const CampaignObsOptions& obs_options,
+                  const std::function<void(ShardOutcome&&)>& sink) {
+  if (plans.empty()) return;
+  const std::size_t workers =
+      std::min<std::size_t>(plans.size(), static_cast<std::size_t>(std::max(threads, 1)));
 
-void collect_result_metrics(const CampaignResult& result, obs::Metrics& m) {
-  const obs::Metrics::Key response_ms = m.distribution_key("campaign.response_ms");
-  const obs::Metrics::Key exchange_ms = m.distribution_key("campaign.exchange_ms");
-  const obs::Metrics::Key ping_rtt_ms = m.distribution_key("campaign.ping_rtt_ms");
-  for (const ResultRecord& r : result.records) {
-    m.add("campaign.records");
-    if (r.ok) {
-      m.add("campaign.records_ok");
-      m.observe(response_ms, r.response_ms);
-      m.observe(exchange_ms, r.exchange_ms);
-      if (r.connection_reused) m.add("campaign.records_reused_connection");
-    } else {
-      m.add("campaign.records_failed");
-      const std::string stage = r.failure_stage.empty()
-                                    ? std::string(derive_failure_stage(r.error_class))
-                                    : r.failure_stage;
-      m.add("campaign.failure_stage." + (stage.empty() ? std::string("unknown") : stage));
-      if (!r.error_class.empty()) m.add("campaign.error_class." + r.error_class);
-    }
+  if (workers <= 1) {
+    // Degenerate pipeline: all stages run inline on the calling thread, in
+    // plan order — no rings, no pool overhead, same outcomes.
+    for (const ShardPlan& plan : plans) sink(run_shard(spec, plan, obs_options));
+    return;
   }
-  for (const PingRecord& p : result.pings) {
-    m.add("campaign.pings");
-    if (p.ok) {
-      m.add("campaign.pings_ok");
-      m.observe(ping_rtt_ms, p.rtt_ms);
-    }
+
+  // One task ring and one outcome ring per worker. Plans are striped
+  // round-robin (plan i → ring i % workers) so every ring keeps exactly one
+  // producer (the expansion thread) and one consumer (its worker); likewise
+  // each outcome ring has one producer (its worker) and one consumer (the
+  // collector loop below). Outcomes travel as unique_ptr so a ring slot is
+  // pointer-sized and hand-off is a move.
+  using OutcomePtr = std::unique_ptr<ShardOutcome>;
+  std::vector<std::unique_ptr<util::SpscRing<ShardPlan>>> task_rings;
+  std::vector<std::unique_ptr<util::SpscRing<OutcomePtr>>> outcome_rings;
+  task_rings.reserve(workers);
+  outcome_rings.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    task_rings.push_back(std::make_unique<util::SpscRing<ShardPlan>>(kTaskRingCapacity));
+    outcome_rings.push_back(std::make_unique<util::SpscRing<OutcomePtr>>(kOutcomeRingCapacity));
   }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto record_error = [&] {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+  };
+
+  // Stage 1: expansion. Streams plans into the task rings (blocking push =
+  // backpressure against a deep backlog) and closes them to signal
+  // end-of-stream.
+  std::thread expansion([&] {
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      task_rings[i % workers]->push(plans[i]);
+    }
+    for (auto& ring : task_rings) ring->close();
+  });
+
+  // Stage 2: simulation workers. Each drains its task ring to exhaustion —
+  // even after an error, so the expansion stage can never block forever on a
+  // full ring — and closes its outcome ring when done.
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      ShardPlan plan;
+      while (task_rings[w]->pop(plan)) {
+        try {
+          auto outcome = std::make_unique<ShardOutcome>(run_shard(spec, plan, obs_options));
+          outcome_rings[w]->push(std::move(outcome));
+        } catch (...) {
+          record_error();
+        }
+      }
+      outcome_rings[w]->close();
+    });
+  }
+
+  // Stage 3: collect/encode on the calling thread, overlapping the sink's
+  // per-shard work with shards still simulating. Polls the outcome rings
+  // round-robin until every one is closed and drained. A sink exception
+  // stops sinking but keeps draining, so workers never block on a full
+  // outcome ring.
+  std::exception_ptr sink_error;
+  std::size_t open_rings = workers;
+  while (open_rings > 0) {
+    bool progressed = false;
+    open_rings = 0;
+    for (auto& ring : outcome_rings) {
+      OutcomePtr outcome;
+      while (ring->try_pop(outcome)) {
+        progressed = true;
+        if (!sink_error) {
+          try {
+            sink(std::move(*outcome));
+          } catch (...) {
+            sink_error = std::current_exception();
+          }
+        }
+        outcome.reset();
+      }
+      if (!ring->closed() || !ring->empty()) ++open_rings;
+    }
+    if (!progressed && open_rings > 0) std::this_thread::yield();
+  }
+
+  expansion.join();
+  for (std::thread& t : pool) t.join();
+  if (sink_error) std::rethrow_exception(sink_error);
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads) {
@@ -109,68 +171,21 @@ CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads,
     throw std::invalid_argument("run_parallel_campaign: invalid spec: " + v.error());
   }
 
-  const std::size_t shards = spec.vantage_ids.size();
-  const std::vector<std::uint64_t> seeds = shard_seeds(spec.seed, shards);
-  std::vector<CampaignResult> shard_results(shards);
-  const bool want_trace = obs_out != nullptr && obs_options.trace;
-  const bool want_metrics = obs_out != nullptr && obs_options.metrics;
-  std::vector<obs::TraceData> shard_traces(want_trace ? shards : 0);
-  std::vector<obs::Metrics> shard_metrics(want_metrics ? shards : 0);
+  // Observability is only collected when there is somewhere to put it, so
+  // the plain overload keeps its exact legacy behavior (and cost).
+  CampaignObsOptions obs = obs_options;
+  if (obs_out == nullptr) obs = CampaignObsOptions{};
 
-  for_each_shard(shards, threads, [&](std::size_t i) {
-    MeasurementSpec shard_spec = spec;
-    shard_spec.vantage_ids = {spec.vantage_ids[i]};
-    shard_spec.seed = seeds[i];
-    SimWorld world(shard_spec.seed);
-    if (want_trace) world.tracer().enable(obs_options.trace_capacity);
-    shard_results[i] = CampaignRunner(world, shard_spec).run();
-    if (want_trace) shard_traces[i] = world.tracer().drain();
-    if (want_metrics) world.collect_metrics(shard_metrics[i]);
+  const std::vector<ShardPlan> plans = expand_spec(spec);
+  ShardCollector collector(spec, plans.size(), obs);
+  run_pipeline(spec, plans, threads, obs, [&](ShardOutcome&& outcome) {
+    // The pipeline delivers each plan index exactly once, so add() cannot
+    // fail here; surface a logic error loudly if that invariant breaks.
+    if (auto added = collector.add(std::move(outcome)); !added) {
+      throw std::logic_error("run_parallel_campaign: " + added.error());
+    }
   });
-
-  // Shards merge in spec vantage order regardless of which worker ran them,
-  // so the exported trace and metrics are thread-count independent.
-  if (want_trace) {
-    for (std::size_t i = 0; i < shards; ++i) {
-      obs_out->trace.add_shard("vantage/" + spec.vantage_ids[i], std::move(shard_traces[i]));
-    }
-  }
-  if (want_metrics) {
-    for (const obs::Metrics& m : shard_metrics) obs_out->metrics.merge(m);
-  }
-
-  CampaignResult merged;
-  merged.spec = spec;
-
-  std::size_t total_records = 0;
-  std::size_t total_pings = 0;
-  std::vector<std::vector<std::vector<ResultRecord>>> records_by_shard(shards);
-  std::vector<std::vector<std::vector<PingRecord>>> pings_by_shard(shards);
-  for (std::size_t i = 0; i < shards; ++i) {
-    total_records += shard_results[i].records.size();
-    total_pings += shard_results[i].pings.size();
-    records_by_shard[i] = bucket_by_round(std::move(shard_results[i].records), spec.rounds);
-    pings_by_shard[i] = bucket_by_round(std::move(shard_results[i].pings), spec.rounds);
-  }
-
-  // Canonical merge order: round-major, then vantage in spec order, records
-  // within a (round, vantage) shard in their deterministic completion order
-  // (which is resolver completion order within the round).
-  merged.records.reserve(total_records);
-  merged.pings.reserve(total_pings);
-  for (int round = 0; round < spec.rounds; ++round) {
-    for (std::size_t i = 0; i < shards; ++i) {
-      auto& recs = records_by_shard[i][static_cast<std::size_t>(round)];
-      for (ResultRecord& r : recs) {
-        merged.availability.record(r);
-        merged.records.push_back(std::move(r));
-      }
-      auto& pngs = pings_by_shard[i][static_cast<std::size_t>(round)];
-      for (PingRecord& p : pngs) merged.pings.push_back(std::move(p));
-    }
-  }
-  if (want_metrics) collect_result_metrics(merged, obs_out->metrics);
-  return merged;
+  return collector.finish(obs_out);
 }
 
 std::vector<CampaignResult> run_seed_sweep(const MeasurementSpec& spec, std::size_t sweeps,

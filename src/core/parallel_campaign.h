@@ -1,10 +1,24 @@
-// Shard-and-merge campaign engine.
+// Staged-pipeline campaign engine.
 //
 // A multi-vantage campaign decomposes into independent shards — one SimWorld
-// per vantage, seeded deterministically from the spec seed via splitmix64 —
-// that run with zero shared mutable state and merge in canonical
-// (round, vantage, resolver) order. The output is a pure function of the
-// spec: byte-identical JSON for any `threads` value, including 1.
+// per vantage, seeded deterministically from the spec seed via splitmix64
+// (see core/pipeline.h for the plan/outcome vocabulary) — that run with zero
+// shared mutable state and merge in canonical (round, vantage, resolver)
+// order. The output is a pure function of the spec: byte-identical JSON for
+// any `threads` value, including 1, and for any `--shard k/N` process split
+// merged by ednsm_merge.
+//
+// Execution is a ZDNS-style staged pipeline connected by SPSC rings
+// (util/spsc_ring.h):
+//
+//   expansion ──rings──▶ simulation workers ──rings──▶ collector/encoder
+//
+// The expansion stage streams ShardPlans into per-worker task rings (striped
+// round-robin, so each ring keeps a single producer and single consumer);
+// workers simulate and push ShardOutcomes into their own outcome ring; the
+// calling thread drains outcome rings as results complete, doing the
+// per-shard encode work (round bucketing) concurrently with shards still
+// simulating, and finally assembles the canonical merge (the sink stage).
 //
 // Note the decomposition is *defined* this way rather than derived from the
 // legacy single-world run: a single SimWorld threads one RNG stream through
@@ -14,41 +28,26 @@
 // paper's fleet of independent probing machines.
 #pragma once
 
-#include "core/campaign.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include <functional>
+
+#include "core/pipeline.h"
 
 namespace ednsm::core {
 
-// What to observe during a sharded campaign. Everything defaults off, so the
-// plain overloads keep their exact legacy behavior (and cost).
-struct CampaignObsOptions {
-  bool trace = false;  // enable each shard world's Tracer
-  std::size_t trace_capacity = obs::Tracer::kDefaultCapacity;  // ring slots/shard
-  bool metrics = false;  // collect sim + result counters/distributions
-};
+// Run `plans` through the expansion → simulation stages with up to `threads`
+// workers (clamped to [1, #plans]), invoking `sink` on the calling thread
+// once per completed plan, in completion order. This is the engine under
+// run_parallel_campaign (sink = ShardCollector) and under `--shard` workers
+// (sink = shard-file accumulation). Worker exceptions are rethrown on the
+// caller after all stages drain; the sink may then have seen only a subset
+// of outcomes.
+void run_pipeline(const MeasurementSpec& spec, const std::vector<ShardPlan>& plans, int threads,
+                  const CampaignObsOptions& obs_options,
+                  const std::function<void(ShardOutcome&&)>& sink);
 
-// Where the observations land. Shard traces are appended in spec vantage
-// order (label "vantage/<id>"), shard metrics merge by name — both therefore
-// independent of thread count and shard completion order.
-struct CampaignObsData {
-  obs::MergedTrace trace;
-  obs::Metrics metrics;
-};
-
-// Fold the merged campaign outcome into `m`: record/ping counts, failure
-// stage and error-class breakdowns, and response-time distributions. Operates
-// on the merged (canonical-order) result, so the numbers are the same for any
-// thread count.
-void collect_result_metrics(const CampaignResult& result, obs::Metrics& m);
-
-// Successive splitmix64 outputs seeded from `spec_seed`: shard i of n gets
-// seeds[i]. Stable across thread counts and shard execution order.
-[[nodiscard]] std::vector<std::uint64_t> shard_seeds(std::uint64_t spec_seed, std::size_t n);
-
-// Run `spec` sharded per vantage across at most `threads` worker threads
-// (clamped to [1, #shards]). Throws std::invalid_argument on an invalid
-// spec, and propagates the first shard exception otherwise.
+// Run `spec` sharded per vantage across at most `threads` worker threads.
+// Throws std::invalid_argument on an invalid spec, and propagates the first
+// shard exception otherwise.
 [[nodiscard]] CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads);
 
 // Same engine with observability: when `obs_options` enables tracing or

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/intern.h"
+#include "core/json.h"
 #include "stats/histogram.h"
 #include "stats/welford.h"
 
@@ -63,6 +64,15 @@ class Metrics {
   // "mean":...,"stddev":...,"min":...,"max":...,"p50":...,"p90":...,"p99":...}.
   void write_jsonl(std::ostream& os) const;
   [[nodiscard]] std::string jsonl() const;
+
+  // Exact (mergeable) JSON round trip, unlike the summary-only JSONL dump:
+  // counters and gauges by name, distributions with their full Welford
+  // moments and sparse histogram bins. This is what shard files embed so a
+  // cross-process merge combines distributions exactly as an in-process merge
+  // does. Entries are persisted in intern order, which from_json replays, so
+  // symbol assignment survives the round trip byte-for-byte.
+  [[nodiscard]] core::Json to_json() const;
+  [[nodiscard]] static Result<Metrics> from_json(const core::Json& j);
 
  private:
   struct Distribution {

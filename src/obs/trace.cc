@@ -104,6 +104,71 @@ TraceData Tracer::drain() {
   return out;
 }
 
+core::Json TraceData::to_json() const {
+  core::JsonObject o;
+  core::JsonArray syms;
+  syms.reserve(symbols.size());
+  for (core::InternTable::Symbol s = 0; s < symbols.size(); ++s) {
+    syms.emplace_back(symbols.name(s));
+  }
+  o["symbols"] = core::Json(std::move(syms));
+  o["emitted"] = emitted;
+  o["dropped"] = dropped;
+  core::JsonArray evs;
+  evs.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    core::JsonArray tuple;
+    tuple.reserve(5);
+    tuple.emplace_back(static_cast<std::int64_t>(e.ts.count()));
+    tuple.emplace_back(static_cast<std::int64_t>(e.dur.count()));
+    tuple.emplace_back(static_cast<std::uint64_t>(e.subsystem));
+    tuple.emplace_back(static_cast<std::uint64_t>(e.name));
+    tuple.emplace_back(static_cast<std::uint64_t>(e.kind == EventKind::Complete ? 1 : 0));
+    evs.emplace_back(std::move(tuple));
+  }
+  o["events"] = core::Json(std::move(evs));
+  return core::Json(std::move(o));
+}
+
+Result<TraceData> TraceData::from_json(const core::Json& j) {
+  if (!j.is_object()) return Err{std::string("trace data: not an object")};
+  TraceData out;
+  if (!j.at("symbols").is_array() || !j.at("events").is_array()) {
+    return Err{std::string("trace data: missing symbols/events arrays")};
+  }
+  for (const core::Json& s : j.at("symbols").as_array()) {
+    if (!s.is_string()) return Err{std::string("trace data: symbols must be strings")};
+    (void)out.symbols.intern(s.as_string());
+  }
+  if (j.at("emitted").is_number()) {
+    out.emitted = static_cast<std::uint64_t>(j.at("emitted").as_number());
+  }
+  if (j.at("dropped").is_number()) {
+    out.dropped = static_cast<std::uint64_t>(j.at("dropped").as_number());
+  }
+  out.events.reserve(j.at("events").as_array().size());
+  for (const core::Json& e : j.at("events").as_array()) {
+    if (!e.is_array() || e.as_array().size() != 5) {
+      return Err{std::string("trace data: event must be a 5-tuple")};
+    }
+    const core::JsonArray& t = e.as_array();
+    for (const core::Json& field : t) {
+      if (!field.is_number()) return Err{std::string("trace data: event fields must be numbers")};
+    }
+    TraceEvent ev;
+    ev.ts = netsim::SimTime(static_cast<std::int64_t>(t[0].as_number()));
+    ev.dur = netsim::SimDuration(static_cast<std::int64_t>(t[1].as_number()));
+    ev.subsystem = static_cast<core::InternTable::Symbol>(t[2].as_number());
+    ev.name = static_cast<core::InternTable::Symbol>(t[3].as_number());
+    ev.kind = t[4].as_number() != 0 ? EventKind::Complete : EventKind::Instant;
+    if (ev.subsystem >= out.symbols.size() || ev.name >= out.symbols.size()) {
+      return Err{std::string("trace data: event references unknown symbol")};
+    }
+    out.events.push_back(ev);
+  }
+  return out;
+}
+
 void MergedTrace::add_shard(std::string label, TraceData data) {
   shards_.push_back(Shard{std::move(label), std::move(data)});
 }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/intern.h"
+#include "core/json.h"
 #include "netsim/time.h"
 
 namespace ednsm::obs {
@@ -58,6 +59,14 @@ struct TraceData {
   core::InternTable symbols;
   std::uint64_t emitted = 0;  // total emissions, including dropped
   std::uint64_t dropped = 0;  // overwritten by ring wrap-around
+
+  // Exact JSON round trip so shard files carry traces across processes and a
+  // multi-process merge stays byte-identical to an in-process one. Symbols
+  // are persisted in dense intern order (which preserves them exactly on
+  // reload); events are compact 5-tuples [ts_us, dur_us, subsystem, name,
+  // kind].
+  [[nodiscard]] core::Json to_json() const;
+  [[nodiscard]] static Result<TraceData> from_json(const core::Json& j);
 };
 
 class Tracer {

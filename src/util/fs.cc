@@ -1,0 +1,76 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ednsm::util {
+
+namespace {
+
+std::string errno_message(const char* step, const std::string& path) {
+  return std::string(step) + " failed for " + path + ": " + std::strerror(errno);
+}
+
+// fsync the directory containing `path` so the rename itself is durable.
+// Best-effort: some filesystems reject O_RDONLY directory fsync; the rename
+// atomicity (the property partial-write safety rests on) is unaffected.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Result<void> write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Err{errno_message("open", tmp)};
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ::ssize_t n = ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Err{errno_message("write", tmp)};
+    }
+    written += static_cast<std::size_t>(n);
+  }
+
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Err{errno_message("fsync", tmp)};
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Err{errno_message("close", tmp)};
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Err{errno_message("rename", path)};
+  }
+  sync_parent_dir(path);
+  return {};
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Err{"cannot open " + path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Err{"read failed for " + path};
+  return std::move(buf).str();
+}
+
+}  // namespace ednsm::util

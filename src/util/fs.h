@@ -1,0 +1,25 @@
+// Crash-safe file output. Shard files are consumed by a separate process
+// (ednsm_merge), possibly from a network drive mid-campaign, so a partially
+// written file must never be observable at its final path: write to a
+// temporary sibling, fsync, then atomically rename into place.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace ednsm::util {
+
+// Writes `content` to `path` atomically: the data lands in `path + ".tmp.<pid>"`
+// first, is fsync'd, and is renamed over `path` (POSIX rename is atomic within
+// a filesystem). On any failure the temp file is unlinked and an error
+// describing the failing step is returned; `path` is either fully written or
+// untouched, never truncated.
+[[nodiscard]] Result<void> write_file_atomic(const std::string& path, std::string_view content);
+
+// Reads the entire file into a string; errors (with the failing path) when
+// the file cannot be opened or read.
+[[nodiscard]] Result<std::string> read_file(const std::string& path);
+
+}  // namespace ednsm::util

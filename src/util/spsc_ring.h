@@ -1,0 +1,109 @@
+// Lock-free single-producer/single-consumer ring — the stage connector of
+// the campaign pipeline (spec expansion → shard simulation → result encode →
+// sink; see core/parallel_campaign.cc and DESIGN.md "Pipeline architecture").
+//
+// Exactly one thread may push and exactly one thread may pop; under that
+// contract every operation is a handful of relaxed loads plus one
+// acquire/release pair, with no locks, no CAS loops, and no allocation after
+// construction. Indices are monotonically increasing 64-bit counters (so
+// full/empty never alias) masked into a power-of-two slot array.
+//
+// Rings are bounded on purpose: a full task ring applies backpressure to the
+// expansion stage and a full outcome ring parks a simulation worker, keeping
+// peak memory proportional to ring capacity rather than campaign size. The
+// blocking helpers spin briefly and then yield — stage handoff latency is
+// microseconds, and the pipeline stages are long-running threads, not tasks
+// on a scheduler that could deadlock under yield.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ednsm::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2) so index masking is
+  // a single AND.
+  explicit SpscRing(std::size_t min_capacity = 64) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  // Producer side ------------------------------------------------------------
+
+  // Moves `v` into the ring; false when full (v is left untouched).
+  [[nodiscard]] bool try_push(T& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) return false;
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Blocking push: spins (with yields) until a slot frees up.
+  void push(T v) {
+    while (!try_push(v)) std::this_thread::yield();
+  }
+
+  // Marks the stream complete: the consumer drains remaining items and then
+  // sees end-of-stream. Push nothing after closing.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  // Consumer side ------------------------------------------------------------
+
+  // Moves the oldest item into `out`; false when the ring is empty (which
+  // does not distinguish "temporarily empty" from "closed" — see pop()).
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Blocking pop: true with an item, or false once the ring is closed and
+  // fully drained. The close() check runs only after a failed pop so items
+  // pushed before close() are never lost.
+  [[nodiscard]] bool pop(T& out) {
+    for (;;) {
+      if (try_pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: the producer may have pushed between our pop and its
+        // close; acquire on closed_ orders that push before this pop.
+        return try_pop(out);
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  // Observers (either side; values are instantaneous, not synchronizing).
+  [[nodiscard]] bool closed() const noexcept { return closed_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace ednsm::util

@@ -1,0 +1,13 @@
+// Fixture: a raw thread with a per-line suppression rationale.
+// Expected: no diagnostics.
+#include <thread>
+
+namespace demo {
+
+void watchdog() {
+  // ednsm-lint: allow(concurrency-raw-thread) — detached watchdog, no shard work
+  std::thread t([] {});
+  t.detach();
+}
+
+}  // namespace demo

@@ -1,0 +1,21 @@
+// Fixture: ad-hoc worker threads outside the pipeline engine.
+// Expected: concurrency-raw-thread x3 (two std::thread, one std::jthread);
+// `threads` identifiers, `#include <thread>`, and std::this_thread must NOT
+// trigger.
+#include <thread>
+#include <vector>
+
+namespace demo {
+
+void fan_out(int threads) {
+  std::vector<std::thread> pool;
+  for (int i = 0; i < threads; ++i) {
+    pool.emplace_back([] { std::this_thread::yield(); });
+  }
+  std::thread extra([] {});
+  std::jthread scoped([] {});
+  for (auto& t : pool) t.join();
+  extra.join();
+}
+
+}  // namespace demo

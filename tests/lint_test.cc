@@ -150,13 +150,40 @@ TEST(LintFixtures, ObsSpanBalanceExemptInsideObs) {
   EXPECT_TRUE(diags.empty()) << dump(diags);
 }
 
+TEST(LintFixtures, RawThreadBad) {
+  const auto diags = lint_fixture("raw_thread_bad.cc");
+  EXPECT_EQ(rule_ids(diags),
+            (std::multiset<std::string>{"concurrency-raw-thread", "concurrency-raw-thread",
+                                        "concurrency-raw-thread"}))
+      << dump(diags);
+  for (const Diagnostic& d : diags) {
+    EXPECT_NE(d.message.find("run_pipeline"), std::string::npos) << d.message;
+  }
+}
+
+TEST(LintFixtures, RawThreadSuppressed) {
+  const auto diags = lint_fixture("raw_thread_allowed.cc");
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+// The rule exempts the pipeline engine itself and the src/util primitives it
+// is built from — the same violating code is clean under those paths.
+TEST(LintFixtures, RawThreadExemptInsideEngineAndUtil) {
+  const std::string content =
+      read_file(std::string(EDNSM_LINT_FIXTURE_DIR) + "/raw_thread_bad.cc");
+  for (const char* path : {"src/core/parallel_campaign.cc", "src/util/thread_pool.cc"}) {
+    const auto diags = ednsm::lint::run_lint({SourceFile{path, content}});
+    EXPECT_TRUE(diags.empty()) << path << "\n" << dump(diags);
+  }
+}
+
 // Every advertised rule ID is exercised by at least one bad fixture above.
 TEST(LintFixtures, EveryRuleCovered) {
   const std::vector<std::string> bad_fixtures = {
       "unordered_iter_bad.cc", "wallclock_bad.cc",     "pointer_key_bad.h",
       "codec_parity_bad.cc",   "phase_sum_bad.h",      "phase_sum_missing.h",
       "pragma_once_bad.h",     "using_namespace_bad.h", "nodiscard_bad.h",
-      "obs_span_balance_bad.cc",
+      "obs_span_balance_bad.cc", "raw_thread_bad.cc",
   };
   std::set<std::string> triggered;
   for (const std::string& name : bad_fixtures) {
@@ -283,6 +310,31 @@ TEST(LintTree, NewPhaseMemberOutsidePhaseSumFails) {
   const auto diags = ednsm::lint::run_lint(files);
   const bool found = std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
     return d.rule == "phase-sum" && d.message.find("retry_backoff") != std::string::npos;
+  });
+  EXPECT_TRUE(found) << dump(diags);
+}
+
+// Spawning a raw std::thread in campaign code (instead of going through
+// run_pipeline) must trip concurrency-raw-thread. The engine itself
+// (core/parallel_campaign.cc) constructs threads and must stay clean.
+TEST(LintTree, RawThreadOutsideEngineFails) {
+  auto files = load_repo_tree();
+  bool mutated = false;
+  for (SourceFile& f : files) {
+    if (!f.path.ends_with("core/campaign.cc")) continue;
+    f.content +=
+        "\nnamespace ednsm::core {\n"
+        "void debug_background_round() {\n"
+        "  std::thread worker([] {});\n"
+        "  worker.join();\n"
+        "}\n"
+        "}  // namespace ednsm::core\n";
+    mutated = true;
+  }
+  ASSERT_TRUE(mutated);
+  const auto diags = ednsm::lint::run_lint(files);
+  const bool found = std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.rule == "concurrency-raw-thread" && d.path.ends_with("core/campaign.cc");
   });
   EXPECT_TRUE(found) << dump(diags);
 }

@@ -1,0 +1,105 @@
+// SpscRing: the stage connector of the campaign pipeline. FIFO order,
+// capacity rounding, full/empty edges, close()/drain semantics, move-only
+// payloads, and a real producer/consumer thread pair (the case the TSan CI
+// job replays).
+#include "util/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace ednsm::util {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRing, FifoOrderSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) ring.push(i);
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, TryPushFullLeavesValueIntact) {
+  SpscRing<int> ring(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(ring.try_push(a));
+  EXPECT_TRUE(ring.try_push(b));
+  EXPECT_FALSE(ring.try_push(c));
+  EXPECT_EQ(c, 3);  // untouched on failure
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(SpscRing, WrapAroundKeepsOrder) {
+  SpscRing<int> ring(4);
+  int out = -1;
+  // Push/pop more items than the capacity so the cursors wrap the mask.
+  for (int i = 0; i < 100; ++i) {
+    ring.push(i);
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(SpscRing, PopDrainsItemsPushedBeforeClose) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) ring.push(i);
+  ring.close();
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.pop(out));  // closed and drained: end of stream
+  EXPECT_TRUE(ring.closed());
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  auto p = std::make_unique<int>(42);
+  ASSERT_TRUE(ring.try_push(p));
+  EXPECT_EQ(p, nullptr);  // moved out
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+// The contract the pipeline stages rely on: one producer thread, one consumer
+// thread, every item delivered exactly once in order, end-of-stream after
+// close(). Run under TSan in CI (the SpscRing test filter).
+TEST(SpscRing, ThreadedProducerConsumer) {
+  constexpr std::uint64_t kItems = 100000;
+  SpscRing<std::uint64_t> ring(64);
+  std::vector<std::uint64_t> received;
+  received.reserve(kItems);
+
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kItems; ++i) ring.push(i);
+    ring.close();
+  });
+  std::uint64_t v = 0;
+  while (ring.pop(v)) received.push_back(v);
+  producer.join();
+
+  ASSERT_EQ(received.size(), kItems);
+  for (std::uint64_t i = 0; i < kItems; ++i) ASSERT_EQ(received[i], i);
+}
+
+}  // namespace
+}  // namespace ednsm::util

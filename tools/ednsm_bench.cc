@@ -1,22 +1,34 @@
-// ednsm-bench: timed paper-campaign runs with a machine-readable summary, so
-// the BENCH_*.json trajectory can be tracked across releases.
+// ednsm-bench: timed benchmark suites with a machine-readable summary, so
+// the committed BENCH_*.json perf ledger can be tracked across releases and
+// gated in CI (see tools/ednsm_perfgate.cc).
 //
 // Usage:
-//   ednsm_bench [--vantages ids] [--rounds N] [--seed S] [--threads N]
-//               [--repeat K] [--json] [--out BENCH_campaign.json]
+//   ednsm_bench [--suite fig2|monitor|micro]
+//               [--vantages ids] [--rounds N] [--seed S] [--threads N]
+//               [--repeat K] [--json] [--out BENCH_fig2.json]
 //               [--trace-overhead 1] [--profile 1]
 //
-// --trace-overhead re-runs the campaign with tracing enabled and adds
-// trace_on_wall_ms / trace_overhead_pct / trace_identical to the summary
-// (trace_identical asserts the simulated output is byte-identical either
-// way). --profile prints a wall-clock stage breakdown to stderr.
+// Suites:
+//   fig2 (default) — the paper's Fig. 2 workload: the full Appendix A.2
+//     registry from the four global vantages, 30 rounds, on the staged
+//     pipeline engine (--threads N; 0 = legacy single-world engine).
+//   monitor — the longitudinal epoch driver: a 7-resolver watchlist over 30
+//     daily epochs with one scripted outage (bench_monitor's scenario).
+//   micro — engine micro-costs: uncontended SPSC ring throughput plus a
+//     minimal one-vantage pipeline campaign.
 //
-// Defaults reproduce the Fig. 2 workload: the full Appendix A.2 registry from
-// the four global vantages, 30 rounds. --threads 0 (default) is the legacy
-// single-world engine; N >= 1 is the sharded engine with N workers. --repeat
-// reruns the campaign K times and reports the fastest wall time (steadier on
-// loaded machines). --json (or --out) emits the summary as JSON; --out also
-// writes it to the given path.
+// Every suite emits a "header" object pinning the exact workload (suite,
+// seed, threads, effective_threads, rounds) — the attribution key the perf
+// gate matches before comparing numbers — plus deterministic simulation
+// fields (records/pings/error_rate/...) and the measured wall_ms.
+//
+// --trace-overhead (fig2 only) re-runs the campaign with tracing enabled and
+// adds trace_on_wall_ms / trace_overhead_pct / trace_identical to the summary
+// (trace_identical asserts the simulated output is byte-identical either
+// way). --profile prints a wall-clock stage breakdown to stderr. --repeat
+// reruns the timed section K times and reports the fastest wall time
+// (steadier on loaded machines). --json (or --out) emits the summary as
+// JSON; --out also writes it to the given path.
 //
 // Exit codes: 0 ok, 1 bad usage, 3 I/O error.
 #include <chrono>
@@ -30,9 +42,11 @@
 #include "core/campaign.h"
 #include "core/json.h"
 #include "core/parallel_campaign.h"
+#include "monitor/monitor.h"
 #include "obs/profile.h"
 #include "resolver/registry.h"
 #include "stats/quantile.h"
+#include "util/spsc_ring.h"
 #include "util/strings.h"
 
 using namespace ednsm;
@@ -47,6 +61,34 @@ std::vector<std::string> split_list(const std::string& csv) {
   return out;
 }
 
+// ednsm-lint: allow(determinism-wallclock) — harness-side wall timing of
+// the simulation; never feeds simulated results.
+using WallClock = std::chrono::steady_clock;
+
+double elapsed_ms(WallClock::time_point start) {
+  // ednsm-lint: allow(determinism-wallclock) — harness wall timing
+  return std::chrono::duration<double, std::milli>(WallClock::now() - start).count();
+}
+
+// Attribution header: the fields that pin a ledger row to an exact workload.
+// seed + threads + rounds determine the run completely; effective_threads is
+// the worker count after the engine's clamp to [1, #shards], so rows from
+// over-provisioned runs compare honestly. The perf gate refuses to compare
+// rows whose headers differ.
+core::Json make_header(const std::string& bench, std::uint64_t seed, int threads,
+                       std::size_t shards, int rounds) {
+  core::JsonObject header;
+  header["bench"] = core::Json(bench);
+  header["schema_version"] = core::Json(3.0);
+  header["seed"] = core::Json(static_cast<double>(seed));
+  header["threads"] = core::Json(static_cast<double>(threads));
+  const std::size_t effective =
+      threads <= 0 ? 1 : std::min(static_cast<std::size_t>(threads), std::max<std::size_t>(shards, 1));
+  header["effective_threads"] = core::Json(static_cast<double>(effective));
+  header["rounds"] = core::Json(static_cast<double>(rounds));
+  return core::Json(std::move(header));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,19 +101,23 @@ int main(int argc, char** argv) {
       continue;
     }
     if (!arg.starts_with("--") || i + 1 >= argc) {
-      std::fprintf(stderr, "usage: ednsm_bench [--vantages ids] [--rounds N] [--seed S] "
-                           "[--threads N] [--repeat K] [--json] [--out file]\n");
+      std::fprintf(stderr,
+                   "usage: ednsm_bench [--suite fig2|monitor|micro] [--vantages ids] "
+                   "[--rounds N] [--seed S] [--threads N] [--repeat K] [--json] [--out file]\n");
       return 1;
     }
     options[std::string(arg.substr(2))] = argv[++i];
   }
+
+  const std::string suite =
+      options.contains("suite") ? options.at("suite") : std::string("fig2");
 
   std::vector<std::string> vantages = {"home-chicago-1", "ec2-ohio", "ec2-frankfurt",
                                        "ec2-seoul"};
   if (const auto it = options.find("vantages"); it != options.end()) {
     vantages = split_list(it->second);
   }
-  int rounds = 30;
+  int rounds = suite == "monitor" ? 3 : 30;
   if (const auto it = options.find("rounds"); it != options.end()) {
     rounds = std::atoi(it->second.c_str());
   }
@@ -91,121 +137,205 @@ int main(int argc, char** argv) {
   const bool trace_overhead = options.contains("trace-overhead");
   const bool profile = options.contains("profile");
 
-  core::MeasurementSpec spec;
   obs::WallProfiler profiler;
-  {
-    const auto scope = profiler.scope("build-spec");
-    for (const auto& s : resolver::paper_resolver_list()) spec.resolvers.push_back(s.hostname);
-    spec.vantage_ids = vantages;
-    spec.rounds = rounds;
+  core::JsonObject o;
+
+  if (suite == "fig2") {
+    core::MeasurementSpec spec;
+    {
+      const auto scope = profiler.scope("build-spec");
+      for (const auto& s : resolver::paper_resolver_list()) spec.resolvers.push_back(s.hostname);
+      spec.vantage_ids = vantages;
+      spec.rounds = rounds;
+      spec.seed = seed;
+    }
+    if (auto valid = spec.validate(); !valid) {
+      std::fprintf(stderr, "invalid bench spec: %s\n", valid.error().c_str());
+      return 1;
+    }
+
+    // One timed campaign run; `with_trace` enables tracing for the overhead
+    // comparison (the trace itself is discarded — only the cost matters).
+    const auto timed_run = [&](bool with_trace, double& wall_ms) {
+      core::CampaignResult r;
+      const auto start = WallClock::now();
+      if (threads <= 0) {
+        core::SimWorld world(seed);
+        if (with_trace) world.tracer().enable();
+        r = core::CampaignRunner(world, spec).run();
+      } else {
+        core::CampaignObsOptions obs_options;
+        obs_options.trace = with_trace;
+        core::CampaignObsData obs_data;
+        r = core::run_parallel_campaign(spec, threads, obs_options, &obs_data);
+      }
+      wall_ms = elapsed_ms(start);
+      return r;
+    };
+
+    core::CampaignResult result;
+    double best_wall_ms = 0.0;
+    {
+      const auto scope = profiler.scope("campaign");
+      for (int run = 0; run < repeat; ++run) {
+        double wall_ms = 0.0;
+        result = timed_run(false, wall_ms);
+        if (run == 0 || wall_ms < best_wall_ms) best_wall_ms = wall_ms;
+      }
+    }
+
+    double best_traced_wall_ms = 0.0;
+    bool trace_identical = true;
+    if (trace_overhead) {
+      const auto scope = profiler.scope("campaign-traced");
+      core::CampaignResult traced;
+      for (int run = 0; run < repeat; ++run) {
+        double wall_ms = 0.0;
+        traced = timed_run(true, wall_ms);
+        if (run == 0 || wall_ms < best_traced_wall_ms) best_traced_wall_ms = wall_ms;
+      }
+      trace_identical = traced.to_json().dump(0) == result.to_json().dump(0);
+    }
+
+    const double records_per_sec =
+        best_wall_ms > 0.0 ? static_cast<double>(result.records.size()) / (best_wall_ms / 1000.0)
+                           : 0.0;
+
+    o["bench"] = core::Json(std::string("paper_campaign"));
+    o["header"] = make_header("paper_campaign", seed, threads, vantages.size(), rounds);
+    o["engine"] = core::Json(std::string(threads > 0 ? "sharded" : "legacy"));
+    o["threads"] = core::Json(static_cast<double>(threads));
+    o["resolvers"] = core::Json(static_cast<double>(spec.resolvers.size()));
+    o["vantages"] = core::Json(static_cast<double>(vantages.size()));
+    o["rounds"] = core::Json(static_cast<double>(rounds));
+    o["seed"] = core::Json(static_cast<double>(seed));
+    o["repeat"] = core::Json(static_cast<double>(repeat));
+    o["records"] = core::Json(static_cast<double>(result.records.size()));
+    o["pings"] = core::Json(static_cast<double>(result.pings.size()));
+    o["error_rate"] = core::Json(result.availability.overall().error_rate());
+    o["wall_ms"] = core::Json(best_wall_ms);
+    o["records_per_sec"] = core::Json(records_per_sec);
+    if (trace_overhead) {
+      o["trace_on_wall_ms"] = core::Json(best_traced_wall_ms);
+      o["trace_overhead_pct"] = core::Json(
+          best_wall_ms > 0.0 ? 100.0 * (best_traced_wall_ms - best_wall_ms) / best_wall_ms
+                             : 0.0);
+      o["trace_identical"] = core::Json(trace_identical);
+    }
+
+    // Cold/warm medians of simulated response time, keyed off the per-record
+    // reuse flag the session layer stamps. Either population can be empty
+    // (e.g. reuse=None campaigns have no warm records); its median is omitted.
+    std::vector<double> cold_ms, warm_ms;
+    for (const core::ResultRecord& r : result.records) {
+      if (!r.ok) continue;
+      (r.connection_reused ? warm_ms : cold_ms).push_back(r.response_ms);
+    }
+    o["cold_queries"] = core::Json(static_cast<double>(cold_ms.size()));
+    o["warm_queries"] = core::Json(static_cast<double>(warm_ms.size()));
+    if (!cold_ms.empty()) o["cold_median_ms"] = core::Json(stats::median(std::move(cold_ms)));
+    if (!warm_ms.empty()) o["warm_median_ms"] = core::Json(stats::median(std::move(warm_ms)));
+  } else if (suite == "monitor") {
+    // bench_monitor's scenario: a watchlist across the four tiers, a month
+    // of daily epochs, one scripted mid-span outage.
+    monitor::MonitorSpec spec;
+    spec.base.resolvers = {
+        "dns.google", "security.cloudflare-dns.com", "dns.quad9.net", "ordns.he.net",
+        "freedns.controld.com", "doh.ffmuc.net", "kronos.plan9-dns.com",
+    };
+    spec.base.vantage_ids = {"ec2-ohio"};
+    spec.base.rounds = rounds;
+    spec.base.seed = seed;
+    spec.epochs = 30;
+    spec.outages.push_back(monitor::OutageScript{"kronos.plan9-dns.com", 12, 15});
+
+    const int workers = threads <= 0 ? 1 : threads;
+    double best_wall_ms = 0.0;
+    monitor::MonitorResult mon;
+    {
+      const auto scope = profiler.scope("monitor");
+      for (int run = 0; run < repeat; ++run) {
+        const auto start = WallClock::now();
+        auto result = monitor::run_monitor(spec, workers);
+        const double wall_ms = elapsed_ms(start);
+        if (!result) {
+          std::fprintf(stderr, "monitor bench failed: %s\n", result.error().c_str());
+          return 1;
+        }
+        mon = std::move(result).value();
+        if (run == 0 || wall_ms < best_wall_ms) best_wall_ms = wall_ms;
+      }
+    }
+
+    o["bench"] = core::Json(std::string("monitor"));
+    o["header"] = make_header("monitor", seed, threads, spec.base.vantage_ids.size(), rounds);
+    o["resolvers"] = core::Json(static_cast<double>(spec.base.resolvers.size()));
+    o["epochs"] = core::Json(static_cast<double>(spec.epochs));
+    o["rounds"] = core::Json(static_cast<double>(rounds));
+    o["seed"] = core::Json(static_cast<double>(seed));
+    o["repeat"] = core::Json(static_cast<double>(repeat));
+    o["series_points"] = core::Json(static_cast<double>(mon.series.size()));
+    o["slo_samples"] = core::Json(static_cast<double>(mon.slos.size()));
+    o["events"] = core::Json(static_cast<double>(mon.events.size()));
+    o["wall_ms"] = core::Json(best_wall_ms);
+  } else if (suite == "micro") {
+    // Uncontended ring throughput: the per-item handoff cost the pipeline
+    // pays, measured without thread scheduling noise.
+    constexpr std::size_t kRingOps = 1u << 20;
+    double ring_wall_ms = 0.0;
+    std::uint64_t checksum = 0;
+    {
+      const auto scope = profiler.scope("ring");
+      for (int run = 0; run < repeat; ++run) {
+        util::SpscRing<std::uint64_t> ring(1024);
+        const auto start = WallClock::now();
+        std::uint64_t sum = 0;
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < kRingOps; ++i) {
+          ring.push(i);
+          if (ring.try_pop(v)) sum += v;
+        }
+        const double wall_ms = elapsed_ms(start);
+        checksum = sum;
+        if (run == 0 || wall_ms < ring_wall_ms) ring_wall_ms = wall_ms;
+      }
+    }
+
+    // Minimal pipeline campaign: one vantage, a handful of resolvers — the
+    // fixed per-campaign overhead (world build, expansion, collection).
+    core::MeasurementSpec spec;
+    spec.resolvers = {"dns.google", "ordns.he.net", "dns.quad9.net"};
+    spec.vantage_ids = {"ec2-ohio"};
+    spec.rounds = rounds > 0 ? std::min(rounds, 2) : 2;
     spec.seed = seed;
-  }
-  if (auto valid = spec.validate(); !valid) {
-    std::fprintf(stderr, "invalid bench spec: %s\n", valid.error().c_str());
+    double campaign_wall_ms = 0.0;
+    core::CampaignResult result;
+    {
+      const auto scope = profiler.scope("campaign");
+      for (int run = 0; run < repeat; ++run) {
+        const auto start = WallClock::now();
+        result = core::run_parallel_campaign(spec, threads <= 0 ? 1 : threads);
+        const double wall_ms = elapsed_ms(start);
+        if (run == 0 || wall_ms < campaign_wall_ms) campaign_wall_ms = wall_ms;
+      }
+    }
+
+    o["bench"] = core::Json(std::string("micro"));
+    o["header"] = make_header("micro", seed, threads, spec.vantage_ids.size(), spec.rounds);
+    o["repeat"] = core::Json(static_cast<double>(repeat));
+    o["ring_ops"] = core::Json(static_cast<double>(kRingOps));
+    o["ring_checksum"] = core::Json(static_cast<double>(checksum));
+    o["ring_ops_per_sec"] = core::Json(
+        ring_wall_ms > 0.0 ? static_cast<double>(kRingOps) / (ring_wall_ms / 1000.0) : 0.0);
+    o["records"] = core::Json(static_cast<double>(result.records.size()));
+    o["pings"] = core::Json(static_cast<double>(result.pings.size()));
+    o["error_rate"] = core::Json(result.availability.overall().error_rate());
+    o["wall_ms"] = core::Json(campaign_wall_ms);
+  } else {
+    std::fprintf(stderr, "error: unknown suite \"%s\" (fig2, monitor, micro)\n", suite.c_str());
     return 1;
   }
 
-  // One timed campaign run; `with_trace` enables tracing for the overhead
-  // comparison (the trace itself is discarded — only the cost matters here).
-  const auto timed_run = [&](bool with_trace, double& wall_ms) {
-    core::CampaignResult r;
-    // ednsm-lint: allow(determinism-wallclock) — harness-side wall timing of
-    // the simulation; never feeds simulated results.
-    const auto start = std::chrono::steady_clock::now();
-    if (threads <= 0) {
-      core::SimWorld world(seed);
-      if (with_trace) world.tracer().enable();
-      r = core::CampaignRunner(world, spec).run();
-    } else {
-      core::CampaignObsOptions obs_options;
-      obs_options.trace = with_trace;
-      core::CampaignObsData obs_data;
-      r = core::run_parallel_campaign(spec, threads, obs_options, &obs_data);
-    }
-    wall_ms =
-        // ednsm-lint: allow(determinism-wallclock) — harness wall timing
-        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
-            .count();
-    return r;
-  };
-
-  core::CampaignResult result;
-  double best_wall_ms = 0.0;
-  {
-    const auto scope = profiler.scope("campaign");
-    for (int run = 0; run < repeat; ++run) {
-      double wall_ms = 0.0;
-      result = timed_run(false, wall_ms);
-      if (run == 0 || wall_ms < best_wall_ms) best_wall_ms = wall_ms;
-    }
-  }
-
-  double best_traced_wall_ms = 0.0;
-  bool trace_identical = true;
-  if (trace_overhead) {
-    const auto scope = profiler.scope("campaign-traced");
-    core::CampaignResult traced;
-    for (int run = 0; run < repeat; ++run) {
-      double wall_ms = 0.0;
-      traced = timed_run(true, wall_ms);
-      if (run == 0 || wall_ms < best_traced_wall_ms) best_traced_wall_ms = wall_ms;
-    }
-    trace_identical = traced.to_json().dump(0) == result.to_json().dump(0);
-  }
-
-  const double records_per_sec =
-      best_wall_ms > 0.0 ? static_cast<double>(result.records.size()) / (best_wall_ms / 1000.0)
-                         : 0.0;
-
-  core::JsonObject o;
-  o["bench"] = core::Json(std::string("paper_campaign"));
-  // Attribution header: the fields that pin this row of a perf trajectory to
-  // an exact workload. seed + threads determine the run completely;
-  // effective_threads is the worker count after the engine's clamp to
-  // [1, #shards], so rows from over-provisioned runs compare honestly.
-  {
-    core::JsonObject header;
-    header["bench"] = core::Json(std::string("paper_campaign"));
-    header["schema_version"] = core::Json(2.0);
-    header["seed"] = core::Json(static_cast<double>(seed));
-    header["threads"] = core::Json(static_cast<double>(threads));
-    const std::size_t shards = vantages.size();
-    const std::size_t effective =
-        threads <= 0 ? 1 : std::min(static_cast<std::size_t>(threads), shards);
-    header["effective_threads"] = core::Json(static_cast<double>(effective));
-    o["header"] = core::Json(std::move(header));
-  }
-  o["engine"] = core::Json(std::string(threads > 0 ? "sharded" : "legacy"));
-  o["threads"] = core::Json(static_cast<double>(threads));
-  o["resolvers"] = core::Json(static_cast<double>(spec.resolvers.size()));
-  o["vantages"] = core::Json(static_cast<double>(vantages.size()));
-  o["rounds"] = core::Json(static_cast<double>(rounds));
-  o["seed"] = core::Json(static_cast<double>(seed));
-  o["repeat"] = core::Json(static_cast<double>(repeat));
-  o["records"] = core::Json(static_cast<double>(result.records.size()));
-  o["pings"] = core::Json(static_cast<double>(result.pings.size()));
-  o["error_rate"] = core::Json(result.availability.overall().error_rate());
-  o["wall_ms"] = core::Json(best_wall_ms);
-  o["records_per_sec"] = core::Json(records_per_sec);
-  if (trace_overhead) {
-    o["trace_on_wall_ms"] = core::Json(best_traced_wall_ms);
-    o["trace_overhead_pct"] = core::Json(
-        best_wall_ms > 0.0 ? 100.0 * (best_traced_wall_ms - best_wall_ms) / best_wall_ms : 0.0);
-    o["trace_identical"] = core::Json(trace_identical);
-  }
-
-  // Cold/warm medians of simulated response time, keyed off the per-record
-  // reuse flag the session layer stamps. Either population can be empty
-  // (e.g. reuse=None campaigns have no warm records); its median is omitted.
-  std::vector<double> cold_ms, warm_ms;
-  for (const core::ResultRecord& r : result.records) {
-    if (!r.ok) continue;
-    (r.connection_reused ? warm_ms : cold_ms).push_back(r.response_ms);
-  }
-  o["cold_queries"] = core::Json(static_cast<double>(cold_ms.size()));
-  o["warm_queries"] = core::Json(static_cast<double>(warm_ms.size()));
-  if (!cold_ms.empty()) o["cold_median_ms"] = core::Json(stats::median(std::move(cold_ms)));
-  if (!warm_ms.empty()) o["warm_median_ms"] = core::Json(stats::median(std::move(warm_ms)));
   const core::Json summary(std::move(o));
 
   if (const auto it = options.find("out"); it != options.end()) {
@@ -219,8 +349,8 @@ int main(int argc, char** argv) {
   if (json_to_stdout || options.find("out") == options.end()) {
     std::printf("%s\n", summary.dump(2).c_str());
   } else {
-    std::fprintf(stderr, "wall %.1f ms (%0.f records/s) -> %s\n", best_wall_ms, records_per_sec,
-                 options.at("out").c_str());
+    std::fprintf(stderr, "%s: wall %.1f ms -> %s\n", suite.c_str(),
+                 summary.at("wall_ms").as_number(), options.at("out").c_str());
   }
   if (profile) std::fprintf(stderr, "%s", profiler.report().c_str());
   return 0;

@@ -12,11 +12,21 @@
 //   ednsm_measure --all-resolvers --vantages ec2-ohio,ec2-seoul
 //   ednsm_measure ... --trace trace.json [--trace-filter transport]
 //                 [--trace-capacity 65536] [--metrics metrics.jsonl]
+//   ednsm_measure ... --shard k/N --out shard_k.json
 //
 // --threads N selects the shard-per-vantage parallel engine with N workers
 // (see core/parallel_campaign.h); its JSON output is byte-identical for every
 // N, including --threads 1. Omitting the flag keeps the legacy single-world
 // engine, whose record stream matches earlier releases exactly.
+//
+// --shard k/N runs only slice k of N of the campaign's shard plan list (the
+// multi-process split; slices are contiguous and balanced) and writes a
+// self-describing shard file instead of a results file. Shard files are
+// written crash-safely (temp file + fsync + atomic rename); a partial write
+// exits non-zero and leaves no file at the output path. N shard files merged
+// by ednsm_merge reproduce the unsharded results byte-for-byte. With --trace
+// or --metrics the shard file embeds each shard's exact trace/metrics data
+// (the flags' path arguments name per-slice artifacts, also written).
 //
 // --trace writes a Chrome trace-event JSON (chrome://tracing / Perfetto)
 // timestamped in simulated time; --trace-filter keeps one subsystem ("cat").
@@ -25,6 +35,7 @@
 // without them.
 //
 // Exit codes: 0 ok, 1 bad usage, 2 invalid spec, 3 I/O error.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,6 +43,7 @@
 
 #include "core/campaign.h"
 #include "core/parallel_campaign.h"
+#include "core/shard_io.h"
 #include "report/figures.h"
 #include "resolver/registry.h"
 #include "util/strings.h"
@@ -168,6 +180,77 @@ int main(int argc, char** argv) {
   }
   const std::string* filter = args.value().get("trace-filter");
   core::CampaignObsData obs_data;
+  const std::string* out_path_opt = args.value().get("out");
+
+  if (const std::string* shard = args.value().get("shard")) {
+    auto slice = core::ShardSlice::parse(*shard);
+    if (!slice) {
+      std::fprintf(stderr, "error: --shard: %s\n", slice.error().c_str());
+      return 1;
+    }
+    const std::vector<core::ShardPlan> plans = core::expand_spec(spec.value());
+    const std::vector<core::ShardPlan> mine = core::slice_plans(plans, slice.value());
+
+    core::ShardFile file;
+    file.spec = spec.value();
+    file.slice = slice.value();
+    file.total_shards = plans.size();
+    file.has_trace = obs_options.trace;
+    file.has_metrics = obs_options.metrics;
+    file.outcomes.reserve(mine.size());
+    core::run_pipeline(spec.value(), mine, threads > 0 ? threads : 1, obs_options,
+                       [&](core::ShardOutcome&& outcome) {
+                         file.outcomes.push_back(std::move(outcome));
+                       });
+    // Outcomes arrive in completion order; the file format wants index order
+    // (which also makes the file itself byte-identical for any --threads).
+    std::sort(file.outcomes.begin(), file.outcomes.end(),
+              [](const core::ShardOutcome& a, const core::ShardOutcome& b) {
+                return a.index < b.index;
+              });
+
+    const std::string path =
+        out_path_opt != nullptr
+            ? *out_path_opt
+            : "shard-" + std::to_string(slice.value().k) + "-of-" +
+                  std::to_string(slice.value().n) + ".json";
+    if (auto written = file.write(path); !written) {
+      std::fprintf(stderr, "error: %s\n", written.error().c_str());
+      return 3;
+    }
+
+    // Per-slice debugging artifacts; the canonical merged ones come from
+    // ednsm_merge over the full shard set.
+    if (trace_path != nullptr) {
+      obs::MergedTrace view;
+      for (const core::ShardOutcome& outcome : file.outcomes) {
+        view.add_shard("vantage/" + outcome.vantage, outcome.trace);
+      }
+      std::ofstream trace_out(*trace_path);
+      if (!trace_out) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path->c_str());
+        return 3;
+      }
+      view.write_chrome_json(trace_out, filter != nullptr ? *filter : std::string_view{});
+    }
+    if (metrics_path != nullptr) {
+      obs::Metrics slice_metrics;
+      for (const core::ShardOutcome& outcome : file.outcomes) {
+        slice_metrics.merge(outcome.metrics);
+      }
+      std::ofstream metrics_out(*metrics_path);
+      if (!metrics_out) {
+        std::fprintf(stderr, "error: cannot write %s\n", metrics_path->c_str());
+        return 3;
+      }
+      slice_metrics.write_jsonl(metrics_out);
+    }
+
+    std::fprintf(stderr, "shard %zu/%zu: %zu of %zu campaign shards -> %s\n",
+                 slice.value().k, slice.value().n, file.outcomes.size(), plans.size(),
+                 path.c_str());
+    return 0;
+  }
 
   core::CampaignResult result;
   if (threads > 0) {

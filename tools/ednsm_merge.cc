@@ -1,0 +1,179 @@
+// ednsm-merge: deterministic merge of `ednsm_measure --shard k/N` shard
+// files back into the canonical campaign outputs.
+//
+// Usage:
+//   ednsm_merge --out results.json shard0.json shard1.json ...
+//               [--trace trace.json] [--trace-filter transport]
+//               [--metrics metrics.jsonl]
+//
+// The merge is byte-identical to an unsharded `ednsm_measure --threads N`
+// run of the same spec, for ANY shard topology: both paths feed the same
+// ShardCollector, which assembles records in canonical (round, vantage)
+// order, traces in spec vantage order, and metrics in shard-index order.
+//
+// Inputs are validated strictly before anything is written: every file must
+// parse and self-validate (magic, version, fingerprint, plan consistency —
+// see core/shard_io.h), all files must describe the same campaign (equal
+// spec fingerprints and slice count), and the slices must cover 0..N-1
+// exactly once. --trace/--metrics require every shard file to embed the
+// corresponding data (i.e. the workers ran with the same flags).
+//
+// Exit codes: 0 ok, 1 bad usage, 2 inconsistent/invalid shard set, 3 I/O.
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/parallel_campaign.h"
+#include "core/shard_io.h"
+#include "util/fs.h"
+
+using namespace ednsm;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::vector<std::string> inputs;
+
+  [[nodiscard]] const std::string* get(const std::string& key) const {
+    const auto it = options.find(key);
+    return it == options.end() ? nullptr : &it->second;
+  }
+};
+
+Result<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      args.inputs.emplace_back(arg);
+      continue;
+    }
+    if (i + 1 >= argc) return Err{std::string(arg) + " requires a value"};
+    args.options[std::string(arg.substr(2))] = argv[++i];
+  }
+  if (args.inputs.empty()) {
+    return Err{std::string("usage: ednsm_merge --out results.json shard0.json shard1.json ...")};
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = parse_args(argc, argv);
+  if (!args) {
+    std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    return 1;
+  }
+
+  std::vector<core::ShardFile> shards;
+  shards.reserve(args.value().inputs.size());
+  for (const std::string& path : args.value().inputs) {
+    auto loaded = core::ShardFile::load(path);
+    if (!loaded) {
+      std::fprintf(stderr, "error: %s\n", loaded.error().c_str());
+      return 2;
+    }
+    shards.push_back(std::move(loaded).value());
+  }
+
+  const core::ShardFile& first = shards.front();
+  const std::uint64_t fingerprint = core::spec_fingerprint(first.spec);
+  if (shards.size() != first.slice.n) {
+    std::fprintf(stderr, "error: spec splits into %zu shard files, got %zu\n", first.slice.n,
+                 shards.size());
+    return 2;
+  }
+  std::vector<bool> slice_seen(first.slice.n, false);
+  for (const core::ShardFile& shard : shards) {
+    if (core::spec_fingerprint(shard.spec) != fingerprint) {
+      std::fprintf(stderr, "error: shard files describe different campaigns "
+                           "(spec fingerprints differ)\n");
+      return 2;
+    }
+    if (shard.slice.n != first.slice.n) {
+      std::fprintf(stderr, "error: mixed shard topologies (%zu-way and %zu-way)\n",
+                   first.slice.n, shard.slice.n);
+      return 2;
+    }
+    if (shard.has_trace != first.has_trace || shard.has_metrics != first.has_metrics) {
+      std::fprintf(stderr, "error: shard files disagree on embedded trace/metrics\n");
+      return 2;
+    }
+    if (slice_seen[shard.slice.k]) {
+      std::fprintf(stderr, "error: slice %zu/%zu appears more than once\n", shard.slice.k,
+                   shard.slice.n);
+      return 2;
+    }
+    slice_seen[shard.slice.k] = true;
+  }
+
+  const std::string* trace_path = args.value().get("trace");
+  const std::string* metrics_path = args.value().get("metrics");
+  if (trace_path != nullptr && !first.has_trace) {
+    std::fprintf(stderr, "error: --trace requires shards measured with --trace\n");
+    return 2;
+  }
+  if (metrics_path != nullptr && !first.has_metrics) {
+    std::fprintf(stderr, "error: --metrics requires shards measured with --metrics\n");
+    return 2;
+  }
+
+  core::CampaignObsOptions obs_options;
+  obs_options.trace = trace_path != nullptr;
+  obs_options.metrics = metrics_path != nullptr;
+  core::CampaignObsData obs_data;
+
+  core::ShardCollector collector(first.spec, first.total_shards, obs_options);
+  for (core::ShardFile& shard : shards) {
+    for (core::ShardOutcome& outcome : shard.outcomes) {
+      if (auto added = collector.add(std::move(outcome)); !added) {
+        std::fprintf(stderr, "error: %s\n", added.error().c_str());
+        return 2;
+      }
+    }
+  }
+  if (!collector.complete()) {
+    std::fprintf(stderr, "error: shard set covers %zu of %zu campaign shards\n",
+                 collector.collected(), collector.expected());
+    return 2;
+  }
+  const core::CampaignResult result = collector.finish(&obs_data);
+
+  const std::string* out_path = args.value().get("out");
+  const std::string path = out_path != nullptr ? *out_path : "results.json";
+  std::ostringstream out;
+  result.write_json(out);
+  if (auto written = util::write_file_atomic(path, std::move(out).str()); !written) {
+    std::fprintf(stderr, "error: %s\n", written.error().c_str());
+    return 3;
+  }
+
+  if (trace_path != nullptr) {
+    const std::string* filter = args.value().get("trace-filter");
+    std::ostringstream trace_out;
+    obs_data.trace.write_chrome_json(trace_out,
+                                     filter != nullptr ? *filter : std::string_view{});
+    if (auto written = util::write_file_atomic(*trace_path, std::move(trace_out).str());
+        !written) {
+      std::fprintf(stderr, "error: %s\n", written.error().c_str());
+      return 3;
+    }
+  }
+  if (metrics_path != nullptr) {
+    if (auto written = util::write_file_atomic(*metrics_path, obs_data.metrics.jsonl());
+        !written) {
+      std::fprintf(stderr, "error: %s\n", written.error().c_str());
+      return 3;
+    }
+  }
+
+  std::fprintf(stderr, "merged %zu shard files (%zu campaign shards): %zu records, %zu pings -> %s\n",
+               shards.size(), collector.expected(), result.records.size(), result.pings.size(),
+               path.c_str());
+  return 0;
+}

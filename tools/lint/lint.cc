@@ -28,6 +28,7 @@ constexpr std::string_view kPragmaOnce = "hygiene-pragma-once";
 constexpr std::string_view kUsingNamespace = "hygiene-using-namespace";
 constexpr std::string_view kNodiscardResult = "hygiene-nodiscard-result";
 constexpr std::string_view kObsSpanBalance = "obs-span-balance";
+constexpr std::string_view kRawThread = "concurrency-raw-thread";
 
 const std::vector<RuleInfo> kRules = {
     {kUnorderedIter,
@@ -53,6 +54,11 @@ const std::vector<RuleInfo> kRules = {
     {kObsSpanBalance,
      "manual Tracer begin_span/end_span call outside src/obs: hand-paired "
      "spans leak on early return or exception; use the OBS_SPAN RAII macro"},
+    {kRawThread,
+     "raw std::thread/std::jthread outside the pipeline engine "
+     "(core/parallel_campaign.cc) and src/util: ad-hoc threads bypass the "
+     "staged pipeline's shard determinism and join/error discipline; route "
+     "work through run_pipeline()"},
 };
 
 // ---------------------------------------------------------------------------
@@ -961,6 +967,42 @@ void check_obs_span_balance(const Prepared& p, std::vector<Diagnostic>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: concurrency-raw-thread
+// ---------------------------------------------------------------------------
+
+void check_raw_thread(const Prepared& p, std::vector<Diagnostic>& out) {
+  // The staged pipeline engine owns every worker thread lifecycle (spawn,
+  // ring wiring, drain-on-error, join), and src/util hosts the low-level
+  // concurrency primitives it is built from. Ad-hoc std::thread anywhere
+  // else escapes that discipline: no shard determinism, no guaranteed join,
+  // no first-error propagation.
+  if (path_contains(p.file->path, "core/parallel_campaign.cc")) return;
+  if (path_contains(p.file->path, "util/")) return;
+  const std::string_view code = p.code;
+  for (const std::string_view word :
+       {std::string_view("thread"), std::string_view("jthread")}) {
+    for (std::size_t pos = find_word(code, word); pos != std::string_view::npos;
+         pos = find_word(code, word, pos + 1)) {
+      // Only the qualified type name `std::thread` counts. This skips
+      // `#include <thread>`, identifiers like `threads` (word boundary),
+      // and `std::this_thread::*` (the match inside `this_thread` is not a
+      // whole word).
+      const std::size_t colon2 = prev_nonspace(code, pos);
+      if (colon2 == std::string_view::npos || colon2 < 1) continue;
+      if (code[colon2] != ':' || code[colon2 - 1] != ':') continue;
+      const std::size_t std_last = prev_nonspace(code, colon2 - 1);
+      if (std_last == std::string_view::npos || std_last < 2) continue;
+      if (code.compare(std_last - 2, 3, "std") != 0) continue;
+      if (std_last >= 3 && ident_char(code[std_last - 3])) continue;
+      out.push_back({std::string(p.file->path), line_of(p, pos), std::string(kRawThread),
+                     "raw 'std::" + std::string(word) + "' outside core/parallel_campaign.cc "
+                     "and src/util: route parallel work through run_pipeline() so shards stay "
+                     "deterministic and errors join cleanly"});
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -1000,6 +1042,7 @@ std::vector<Diagnostic> run_lint(const std::vector<SourceFile>& files) {
     check_using_namespace(p, diags);
     check_nodiscard_result(p, diags);
     check_obs_span_balance(p, diags);
+    check_raw_thread(p, diags);
   }
   check_codec_parity(prepared, structs, diags);
   check_phase_sum(prepared, structs, diags);
