@@ -7,7 +7,7 @@
 
 #include "client/session.h"
 #include "core/campaign.h"
-#include "core/json.h"
+#include "util/json.h"
 #include "dns/base64url.h"
 #include "dns/message.h"
 #include "geo/geodb.h"
@@ -19,6 +19,7 @@
 #include "netsim/rng.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "lint/lint.h"
 #include "resolver/cache.h"
 #include "resolver/server.h"
 #include "resolver/upstream.h"
@@ -349,6 +350,28 @@ void BM_TimeSeriesBinaryRoundTrip(benchmark::State& state) {
                           static_cast<std::int64_t>(ts.to_binary().size()));
 }
 BENCHMARK(BM_TimeSeriesBinaryRoundTrip);
+
+// Full-tree static analysis: the three analyzer passes (symbol index, call
+// graph, rules incl. determinism taint) over the committed src/tools/bench
+// tree — the cost every CI push pays at the lint gate. Files are loaded once
+// outside the timed loop so the lane measures analysis, not disk.
+void BM_LintFullTree(benchmark::State& state) {
+  const std::vector<lint::SourceFile> files =
+      lint::load_tree({std::string(EDNSM_SOURCE_DIR) + "/src",
+                       std::string(EDNSM_SOURCE_DIR) + "/tools",
+                       std::string(EDNSM_SOURCE_DIR) + "/bench"});
+  if (files.empty()) {
+    state.SkipWithError("source tree not found at EDNSM_SOURCE_DIR");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint::run_lint(files));
+  }
+  state.counters["files"] = static_cast<double>(files.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(files.size()));
+}
+BENCHMARK(BM_LintFullTree);
 
 }  // namespace
 

@@ -17,7 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/intern.h"
+#include "util/intern.h"
 #include "core/spec.h"
 
 namespace ednsm::core {

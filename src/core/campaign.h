@@ -13,7 +13,7 @@
 #include <unordered_map>
 
 #include "core/availability.h"
-#include "core/intern.h"
+#include "util/intern.h"
 #include "core/probe.h"
 #include "core/scheduler.h"
 #include "core/spec.h"

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "client/query.h"
-#include "core/json.h"
+#include "util/json.h"
 #include "netsim/time.h"
 
 namespace ednsm::core {

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "core/json.h"
+#include "util/json.h"
 #include "monitor/slo.h"
 
 namespace ednsm::monitor {

@@ -20,7 +20,7 @@
 #include <string_view>
 #include <vector>
 
-#include "core/json.h"
+#include "util/json.h"
 #include "obs/timeseries.h"
 #include "resolver/registry.h"
 

@@ -137,31 +137,31 @@ std::string Metrics::jsonl() const {
   return std::move(os).str();
 }
 
-core::Json Metrics::to_json() const {
-  core::JsonObject o;
-  core::JsonArray counters;
+util::Json Metrics::to_json() const {
+  util::JsonObject o;
+  util::JsonArray counters;
   counters.reserve(counters_.size());
   for (Key k = 0; k < counters_.size(); ++k) {
-    core::JsonArray entry;
+    util::JsonArray entry;
     entry.emplace_back(counter_names_.name(k));
     entry.emplace_back(counters_[k]);
     counters.emplace_back(std::move(entry));
   }
-  o["counters"] = core::Json(std::move(counters));
-  core::JsonArray gauges;
+  o["counters"] = util::Json(std::move(counters));
+  util::JsonArray gauges;
   gauges.reserve(gauges_.size());
   for (Key k = 0; k < gauges_.size(); ++k) {
-    core::JsonArray entry;
+    util::JsonArray entry;
     entry.emplace_back(gauge_names_.name(k));
     entry.emplace_back(gauges_[k]);
     gauges.emplace_back(std::move(entry));
   }
-  o["gauges"] = core::Json(std::move(gauges));
-  core::JsonArray dists;
+  o["gauges"] = util::Json(std::move(gauges));
+  util::JsonArray dists;
   dists.reserve(dists_.size());
   for (Key k = 0; k < dists_.size(); ++k) {
     const Distribution& d = dists_[k];
-    core::JsonObject entry;
+    util::JsonObject entry;
     entry["name"] = dist_names_.name(k);
     entry["count"] = d.welford.count();
     entry["mean"] = d.welford.mean();
@@ -170,29 +170,29 @@ core::Json Metrics::to_json() const {
     entry["max"] = d.welford.max();
     // Sparse bins: [bin_index, count] pairs for nonzero bins only (the last
     // bin is the overflow bin, matching Histogram::add_count).
-    core::JsonArray bins;
+    util::JsonArray bins;
     const std::vector<std::uint64_t>& counts = d.histogram.bins();
     for (std::size_t b = 0; b < counts.size(); ++b) {
       if (counts[b] == 0) continue;
-      core::JsonArray pair;
+      util::JsonArray pair;
       pair.emplace_back(static_cast<std::uint64_t>(b));
       pair.emplace_back(counts[b]);
       bins.emplace_back(std::move(pair));
     }
-    entry["bins"] = core::Json(std::move(bins));
+    entry["bins"] = util::Json(std::move(bins));
     dists.emplace_back(std::move(entry));
   }
-  o["dists"] = core::Json(std::move(dists));
-  return core::Json(std::move(o));
+  o["dists"] = util::Json(std::move(dists));
+  return util::Json(std::move(o));
 }
 
-Result<Metrics> Metrics::from_json(const core::Json& j) {
+Result<Metrics> Metrics::from_json(const util::Json& j) {
   if (!j.is_object()) return Err{std::string("metrics: not an object")};
   if (!j.at("counters").is_array() || !j.at("gauges").is_array() || !j.at("dists").is_array()) {
     return Err{std::string("metrics: missing counters/gauges/dists arrays")};
   }
   Metrics m;
-  for (const core::Json& e : j.at("counters").as_array()) {
+  for (const util::Json& e : j.at("counters").as_array()) {
     if (!e.is_array() || e.as_array().size() != 2 || !e.as_array()[0].is_string() ||
         !e.as_array()[1].is_number()) {
       return Err{std::string("metrics: counter entries must be [name, value]")};
@@ -200,14 +200,14 @@ Result<Metrics> Metrics::from_json(const core::Json& j) {
     m.add(e.as_array()[0].as_string(),
           static_cast<std::uint64_t>(e.as_array()[1].as_number()));
   }
-  for (const core::Json& e : j.at("gauges").as_array()) {
+  for (const util::Json& e : j.at("gauges").as_array()) {
     if (!e.is_array() || e.as_array().size() != 2 || !e.as_array()[0].is_string() ||
         !e.as_array()[1].is_number()) {
       return Err{std::string("metrics: gauge entries must be [name, value]")};
     }
     m.set_gauge(e.as_array()[0].as_string(), e.as_array()[1].as_number());
   }
-  for (const core::Json& e : j.at("dists").as_array()) {
+  for (const util::Json& e : j.at("dists").as_array()) {
     if (!e.is_object() || !e.at("name").is_string() || !e.at("count").is_number()) {
       return Err{std::string("metrics: distribution entries need name and count")};
     }
@@ -220,7 +220,7 @@ Result<Metrics> Metrics::from_json(const core::Json& j) {
         e.at("min").is_number() ? e.at("min").as_number() : 0.0,
         e.at("max").is_number() ? e.at("max").as_number() : 0.0);
     if (!e.at("bins").is_array()) return Err{std::string("metrics: distribution missing bins")};
-    for (const core::Json& pair : e.at("bins").as_array()) {
+    for (const util::Json& pair : e.at("bins").as_array()) {
       if (!pair.is_array() || pair.as_array().size() != 2 || !pair.as_array()[0].is_number() ||
           !pair.as_array()[1].is_number()) {
         return Err{std::string("metrics: histogram bins must be [index, count]")};

@@ -17,8 +17,8 @@
 #include <string_view>
 #include <vector>
 
-#include "core/intern.h"
-#include "core/json.h"
+#include "util/intern.h"
+#include "util/json.h"
 #include "stats/histogram.h"
 #include "stats/welford.h"
 
@@ -26,7 +26,7 @@ namespace ednsm::obs {
 
 class Metrics {
  public:
-  using Key = core::InternTable::Symbol;
+  using Key = util::InternTable::Symbol;
 
   // Distribution bins: 1 ms resolution to 2 s, overflow above — sized for
   // per-query latencies under the paper's 5 s timeout.
@@ -71,8 +71,8 @@ class Metrics {
   // cross-process merge combines distributions exactly as an in-process merge
   // does. Entries are persisted in intern order, which from_json replays, so
   // symbol assignment survives the round trip byte-for-byte.
-  [[nodiscard]] core::Json to_json() const;
-  [[nodiscard]] static Result<Metrics> from_json(const core::Json& j);
+  [[nodiscard]] util::Json to_json() const;
+  [[nodiscard]] static Result<Metrics> from_json(const util::Json& j);
 
  private:
   struct Distribution {
@@ -80,11 +80,11 @@ class Metrics {
     stats::Histogram histogram{kBinWidthMs, kBins};
   };
 
-  core::InternTable counter_names_;
+  util::InternTable counter_names_;
   std::vector<std::uint64_t> counters_;
-  core::InternTable gauge_names_;
+  util::InternTable gauge_names_;
   std::vector<double> gauges_;
-  core::InternTable dist_names_;
+  util::InternTable dist_names_;
   std::vector<Distribution> dists_;
 };
 

@@ -5,13 +5,13 @@
 
 namespace ednsm::obs {
 
-core::InternTable::Symbol WallProfiler::key(std::string_view stage) {
+util::InternTable::Symbol WallProfiler::key(std::string_view stage) {
   const auto k = stages_.intern(stage);
   if (k >= totals_ms_.size()) totals_ms_.resize(k + 1, 0.0);
   return k;
 }
 
-void WallProfiler::add(core::InternTable::Symbol stage, double ms) {
+void WallProfiler::add(util::InternTable::Symbol stage, double ms) {
   if (stage >= totals_ms_.size()) totals_ms_.resize(stage + 1, 0.0);
   totals_ms_[stage] += ms;
 }
@@ -19,7 +19,7 @@ void WallProfiler::add(core::InternTable::Symbol stage, double ms) {
 std::vector<std::pair<std::string, double>> WallProfiler::totals() const {
   std::vector<std::pair<std::string, double>> out;
   out.reserve(totals_ms_.size());
-  for (core::InternTable::Symbol k = 0; k < totals_ms_.size(); ++k) {
+  for (util::InternTable::Symbol k = 0; k < totals_ms_.size(); ++k) {
     out.emplace_back(stages_.name(k), totals_ms_[k]);
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {

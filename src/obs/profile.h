@@ -14,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/intern.h"
+#include "util/intern.h"
 
 namespace ednsm::obs {
 
@@ -39,14 +39,14 @@ class WallProfiler {
 
    private:
     WallProfiler& profiler_;
-    core::InternTable::Symbol key_;
+    util::InternTable::Symbol key_;
     std::chrono::steady_clock::time_point start_;
   };
 
   [[nodiscard]] Scope scope(std::string_view stage) { return Scope(*this, stage); }
 
-  [[nodiscard]] core::InternTable::Symbol key(std::string_view stage);
-  void add(core::InternTable::Symbol stage, double ms);
+  [[nodiscard]] util::InternTable::Symbol key(std::string_view stage);
+  void add(util::InternTable::Symbol stage, double ms);
   void add(std::string_view stage, double ms) { add(key(stage), ms); }
 
   // (stage, total ms) pairs, largest total first (ties broken by name so the
@@ -57,7 +57,7 @@ class WallProfiler {
   [[nodiscard]] std::string report() const;
 
  private:
-  core::InternTable stages_;
+  util::InternTable stages_;
   std::vector<double> totals_ms_;
 };
 

@@ -102,8 +102,8 @@ class ByteReader {
 
 // -- SeriesPoint codec --------------------------------------------------------
 
-core::Json SeriesPoint::to_json() const {
-  core::JsonObject o;
+util::Json SeriesPoint::to_json() const {
+  util::JsonObject o;
   o["metric"] = metric;
   o["vantage"] = vantage;
   o["resolver"] = resolver;
@@ -117,20 +117,20 @@ core::Json SeriesPoint::to_json() const {
     o["m2"] = m2;
     o["min"] = min;
     o["max"] = max;
-    core::JsonArray arr;
+    util::JsonArray arr;
     arr.reserve(bins.size());
     for (const auto& [bin, n] : bins) {
-      core::JsonArray pair;
+      util::JsonArray pair;
       pair.emplace_back(static_cast<std::uint64_t>(bin));
       pair.emplace_back(n);
       arr.emplace_back(std::move(pair));
     }
-    o["bins"] = core::Json(std::move(arr));
+    o["bins"] = util::Json(std::move(arr));
   }
-  return core::Json(std::move(o));
+  return util::Json(std::move(o));
 }
 
-Result<SeriesPoint> SeriesPoint::from_json(const core::Json& j) {
+Result<SeriesPoint> SeriesPoint::from_json(const util::Json& j) {
   if (!j.is_object()) return Err{std::string("series point: not an object")};
   SeriesPoint p;
   if (!j.at("metric").is_string() || !j.at("vantage").is_string() ||
@@ -151,7 +151,7 @@ Result<SeriesPoint> SeriesPoint::from_json(const core::Json& j) {
   if (j.at("min").is_number()) p.min = j.at("min").as_number();
   if (j.at("max").is_number()) p.max = j.at("max").as_number();
   if (j.at("bins").is_array()) {
-    for (const core::Json& e : j.at("bins").as_array()) {
+    for (const util::Json& e : j.at("bins").as_array()) {
       if (!e.is_array() || e.as_array().size() != 2 || !e.as_array()[0].is_number() ||
           !e.as_array()[1].is_number()) {
         return Err{std::string("series point: bins entries must be [bin, count] pairs")};
@@ -369,11 +369,11 @@ Result<void> TimeSeries::insert(const SeriesPoint& p) {
 // -- JSONL codec --------------------------------------------------------------
 
 void TimeSeries::write_jsonl(std::ostream& os) const {
-  core::JsonObject header;
+  util::JsonObject header;
   header["kind"] = std::string("header");
   header["schema"] = std::string(kSchema);
   header["bucket_width"] = bucket_width_;
-  os << core::Json(std::move(header)).dump() << '\n';
+  os << util::Json(std::move(header)).dump() << '\n';
   for (const SeriesPoint& p : snapshot()) os << p.to_json().dump() << '\n';
 }
 
@@ -393,9 +393,9 @@ Result<TimeSeries> TimeSeries::read_jsonl(std::string_view text) {
     const std::string_view line = text.substr(start, end - start);
     start = end + 1;
     if (line.empty()) continue;
-    auto parsed = core::Json::parse(line);
+    auto parsed = util::Json::parse(line);
     if (!parsed) return Err{std::string("timeseries: ") + parsed.error()};
-    const core::Json& j = parsed.value();
+    const util::Json& j = parsed.value();
     if (j.is_object() && j.at("kind").is_string() && j.at("kind").as_string() == "header") {
       if (j.at("bucket_width").is_number()) {
         ts.bucket_width_ = static_cast<std::int64_t>(j.at("bucket_width").as_number());
@@ -419,7 +419,7 @@ util::Bytes TimeSeries::to_binary() const {
 
   // Canonical string table: label strings interned in snapshot order, so the
   // blob is independent of this store's live intern order.
-  core::InternTable table;
+  util::InternTable table;
   for (const SeriesPoint& p : points) {
     table.intern(p.metric);
     table.intern(p.vantage);

@@ -24,8 +24,8 @@
 #include <utility>
 #include <vector>
 
-#include "core/intern.h"
-#include "core/json.h"
+#include "util/intern.h"
+#include "util/json.h"
 #include "stats/histogram.h"
 #include "stats/welford.h"
 #include "util/bytes.h"
@@ -50,13 +50,13 @@ struct SeriesPoint {
   double max = 0.0;
   std::vector<std::pair<std::uint32_t, std::uint64_t>> bins;
 
-  [[nodiscard]] core::Json to_json() const;
-  [[nodiscard]] static Result<SeriesPoint> from_json(const core::Json& j);
+  [[nodiscard]] util::Json to_json() const;
+  [[nodiscard]] static Result<SeriesPoint> from_json(const util::Json& j);
 };
 
 class TimeSeries {
  public:
-  using Symbol = core::InternTable::Symbol;
+  using Symbol = util::InternTable::Symbol;
 
   // Histogram layout: 8 ms resolution to ~2 s plus overflow — coarse enough
   // that a point costs ~2 KB, fine enough for p99 under the 5 s timeout.
@@ -150,7 +150,7 @@ class TimeSeries {
                               std::int64_t bucket, PointKey& out) const;
 
   std::int64_t bucket_width_;
-  core::InternTable names_;  // shared across all four label dimensions
+  util::InternTable names_;  // shared across all four label dimensions
   // std::map keyed by symbols: deterministic iteration given deterministic
   // intern order; canonical outputs re-sort by name regardless.
   std::map<PointKey, std::uint64_t> counters_;

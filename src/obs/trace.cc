@@ -104,20 +104,20 @@ TraceData Tracer::drain() {
   return out;
 }
 
-core::Json TraceData::to_json() const {
-  core::JsonObject o;
-  core::JsonArray syms;
+util::Json TraceData::to_json() const {
+  util::JsonObject o;
+  util::JsonArray syms;
   syms.reserve(symbols.size());
-  for (core::InternTable::Symbol s = 0; s < symbols.size(); ++s) {
+  for (util::InternTable::Symbol s = 0; s < symbols.size(); ++s) {
     syms.emplace_back(symbols.name(s));
   }
-  o["symbols"] = core::Json(std::move(syms));
+  o["symbols"] = util::Json(std::move(syms));
   o["emitted"] = emitted;
   o["dropped"] = dropped;
-  core::JsonArray evs;
+  util::JsonArray evs;
   evs.reserve(events.size());
   for (const TraceEvent& e : events) {
-    core::JsonArray tuple;
+    util::JsonArray tuple;
     tuple.reserve(5);
     tuple.emplace_back(static_cast<std::int64_t>(e.ts.count()));
     tuple.emplace_back(static_cast<std::int64_t>(e.dur.count()));
@@ -126,17 +126,17 @@ core::Json TraceData::to_json() const {
     tuple.emplace_back(static_cast<std::uint64_t>(e.kind == EventKind::Complete ? 1 : 0));
     evs.emplace_back(std::move(tuple));
   }
-  o["events"] = core::Json(std::move(evs));
-  return core::Json(std::move(o));
+  o["events"] = util::Json(std::move(evs));
+  return util::Json(std::move(o));
 }
 
-Result<TraceData> TraceData::from_json(const core::Json& j) {
+Result<TraceData> TraceData::from_json(const util::Json& j) {
   if (!j.is_object()) return Err{std::string("trace data: not an object")};
   TraceData out;
   if (!j.at("symbols").is_array() || !j.at("events").is_array()) {
     return Err{std::string("trace data: missing symbols/events arrays")};
   }
-  for (const core::Json& s : j.at("symbols").as_array()) {
+  for (const util::Json& s : j.at("symbols").as_array()) {
     if (!s.is_string()) return Err{std::string("trace data: symbols must be strings")};
     (void)out.symbols.intern(s.as_string());
   }
@@ -147,19 +147,19 @@ Result<TraceData> TraceData::from_json(const core::Json& j) {
     out.dropped = static_cast<std::uint64_t>(j.at("dropped").as_number());
   }
   out.events.reserve(j.at("events").as_array().size());
-  for (const core::Json& e : j.at("events").as_array()) {
+  for (const util::Json& e : j.at("events").as_array()) {
     if (!e.is_array() || e.as_array().size() != 5) {
       return Err{std::string("trace data: event must be a 5-tuple")};
     }
-    const core::JsonArray& t = e.as_array();
-    for (const core::Json& field : t) {
+    const util::JsonArray& t = e.as_array();
+    for (const util::Json& field : t) {
       if (!field.is_number()) return Err{std::string("trace data: event fields must be numbers")};
     }
     TraceEvent ev;
     ev.ts = netsim::SimTime(static_cast<std::int64_t>(t[0].as_number()));
     ev.dur = netsim::SimDuration(static_cast<std::int64_t>(t[1].as_number()));
-    ev.subsystem = static_cast<core::InternTable::Symbol>(t[2].as_number());
-    ev.name = static_cast<core::InternTable::Symbol>(t[3].as_number());
+    ev.subsystem = static_cast<util::InternTable::Symbol>(t[2].as_number());
+    ev.name = static_cast<util::InternTable::Symbol>(t[3].as_number());
     ev.kind = t[4].as_number() != 0 ? EventKind::Complete : EventKind::Instant;
     if (ev.subsystem >= out.symbols.size() || ev.name >= out.symbols.size()) {
       return Err{std::string("trace data: event references unknown symbol")};

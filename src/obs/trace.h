@@ -33,8 +33,8 @@
 #include <string_view>
 #include <vector>
 
-#include "core/intern.h"
-#include "core/json.h"
+#include "util/intern.h"
+#include "util/json.h"
 #include "netsim/time.h"
 
 namespace ednsm::obs {
@@ -47,8 +47,8 @@ enum class EventKind : std::uint8_t {
 struct TraceEvent {
   netsim::SimTime ts{0};
   netsim::SimDuration dur{0};
-  core::InternTable::Symbol subsystem = 0;
-  core::InternTable::Symbol name = 0;
+  util::InternTable::Symbol subsystem = 0;
+  util::InternTable::Symbol name = 0;
   EventKind kind = EventKind::Instant;
 };
 
@@ -56,7 +56,7 @@ struct TraceEvent {
 // given seed), with the symbol table that resolves them.
 struct TraceData {
   std::vector<TraceEvent> events;
-  core::InternTable symbols;
+  util::InternTable symbols;
   std::uint64_t emitted = 0;  // total emissions, including dropped
   std::uint64_t dropped = 0;  // overwritten by ring wrap-around
 
@@ -65,8 +65,8 @@ struct TraceData {
   // are persisted in dense intern order (which preserves them exactly on
   // reload); events are compact 5-tuples [ts_us, dur_us, subsystem, name,
   // kind].
-  [[nodiscard]] core::Json to_json() const;
-  [[nodiscard]] static Result<TraceData> from_json(const core::Json& j);
+  [[nodiscard]] util::Json to_json() const;
+  [[nodiscard]] static Result<TraceData> from_json(const util::Json& j);
 };
 
 class Tracer {
@@ -113,8 +113,8 @@ class Tracer {
 
  private:
   struct OpenSpan {
-    core::InternTable::Symbol subsystem = 0;
-    core::InternTable::Symbol name = 0;
+    util::InternTable::Symbol subsystem = 0;
+    util::InternTable::Symbol name = 0;
     netsim::SimTime begin{0};
   };
 
@@ -126,7 +126,7 @@ class Tracer {
   std::size_t head_ = 0;  // next overwrite position once the ring is full
   std::uint64_t emitted_ = 0;
   std::uint64_t dropped_ = 0;
-  core::InternTable symbols_;
+  util::InternTable symbols_;
   std::vector<OpenSpan> open_;
   std::vector<SpanId> free_ids_;
 };

@@ -14,7 +14,7 @@
 #include <string_view>
 #include <unordered_map>
 
-namespace ednsm::core {
+namespace ednsm::util {
 
 class InternTable {
  public:
@@ -79,4 +79,11 @@ class InternTable {
   std::unordered_map<std::string_view, Symbol> index_;
 };
 
+}  // namespace ednsm::util
+
+// Source-compatibility alias: InternTable lived in core/ until the layering
+// refactor moved it to the bottom layer (see tools/lint/layers.conf). New
+// code should spell ednsm::util::InternTable.
+namespace ednsm::core {
+using util::InternTable;
 }  // namespace ednsm::core

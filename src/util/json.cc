@@ -1,10 +1,10 @@
-#include "core/json.h"
+#include "util/json.h"
 
 #include <cmath>
 #include <cstdio>
 #include <sstream>
 
-namespace ednsm::core {
+namespace ednsm::util {
 
 namespace {
 
@@ -289,4 +289,4 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
-}  // namespace ednsm::core
+}  // namespace ednsm::util

@@ -6,7 +6,7 @@
 #include <sstream>
 #include <vector>
 
-#include "core/json.h"
+#include "util/json.h"
 #include "geo/coords.h"
 #include "resolver/registry.h"
 

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "core/json.h"
+#include "util/json.h"
 
 namespace ednsm::core {
 namespace {

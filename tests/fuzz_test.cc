@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "client/doh.h"
-#include "core/json.h"
+#include "util/json.h"
 #include "dns/base64url.h"
 #include "geo/geodb.h"
 #include "dns/message.h"

@@ -1,0 +1,10 @@
+// arch-layering fixture: lint this under a synthetic src/util/ path with a
+// layers config that does not allow util -> web. A bottom-layer module
+// reaching up into the dashboard is exactly the inversion the DAG forbids.
+#include "web/dashboard.h"
+
+namespace ednsm::util {
+
+inline int poke_dashboard() { return 1; }
+
+}  // namespace ednsm::util

@@ -1,0 +1,9 @@
+// arch-include-cycle fixture (half 1): includes cycle_b.h, which includes
+// this header back.
+#pragma once
+
+#include "cycle_b.h"
+
+struct CycleA {
+  int a = 0;
+};

@@ -1,0 +1,9 @@
+// arch-include-cycle fixture (half 2): completes the cycle back to
+// cycle_a.h.
+#pragma once
+
+#include "cycle_a.h"
+
+struct CycleB {
+  int b = 0;
+};

@@ -1,0 +1,19 @@
+// determinism-taint fixture: one suppression at the true origin silences
+// both the wall-clock token rule and every taint path that starts there —
+// downstream sinks need no annotations of their own.
+#include <chrono>
+
+namespace fx {
+
+inline double harness_now_ms() {
+  // ednsm-lint: allow(determinism-wallclock) — harness wall time; feeds only the tolerance-gated wall_ms field
+  return static_cast<double>(std::chrono::steady_clock::now().time_since_epoch().count()) / 1e6;
+}
+
+struct Timing {
+  double wall_ms = 0;
+  void to_json() { wall_ms = harness_now_ms(); }
+  void from_json() { wall_ms = 0; }
+};
+
+}  // namespace fx

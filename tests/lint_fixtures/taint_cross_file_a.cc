@@ -1,0 +1,14 @@
+// determinism-taint fixture (file A of two): the sink calls a helper whose
+// definition lives in taint_cross_file_b.cc. Lint both files together; the
+// diagnostic lands in file B at the source token, with the cross-file path.
+namespace fx {
+
+unsigned wall_nonce();  // defined in taint_cross_file_b.cc
+
+struct Export {
+  unsigned nonce = 0;
+  void to_json() { nonce = wall_nonce(); }
+  void from_json() { nonce = 0; }
+};
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+// determinism-taint fixture (file B of two): the source definition. See
+// taint_cross_file_a.cc for the sink.
+#include <chrono>
+
+namespace fx {
+
+unsigned wall_nonce() {
+  return static_cast<unsigned>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+// determinism-taint fixture: the nondeterminism source sits directly inside
+// the serialization sink, so the reported call path is a single function.
+#include <chrono>
+
+struct Snapshot {
+  double captured_at = 0;
+  void to_json() {
+    captured_at = static_cast<double>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+  }
+  void from_json() { captured_at = 0; }
+};

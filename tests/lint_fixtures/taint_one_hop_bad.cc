@@ -1,0 +1,23 @@
+// determinism-taint fixture: the source (thread identity) lives in a helper
+// one call away from the sink. Thread id has no base token rule of its own —
+// only the taint pass catches it, and the diagnostic must name the full
+// helper -> sink path.
+#include <thread>
+
+namespace fx {
+
+inline bool same_lane(unsigned* out) {
+  *out = (std::this_thread::get_id() == std::this_thread::get_id()) ? 1u : 2u;
+  return true;
+}
+
+struct Record {
+  unsigned lane = 0;
+  void to_json();
+  void from_json();
+};
+
+void Record::to_json() { same_lane(&lane); }
+void Record::from_json() { lane = 0; }
+
+}  // namespace fx

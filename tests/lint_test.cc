@@ -177,18 +177,39 @@ TEST(LintFixtures, RawThreadExemptInsideEngineAndUtil) {
   }
 }
 
-// Every advertised rule ID is exercised by at least one bad fixture above.
+// Every advertised rule ID is exercised by at least one bad fixture. Most
+// fixtures lint standalone; the architectural rules need a little staging —
+// layering wants a src/<module>/ path plus a layers config, and the include
+// cycle only exists when both halves are linted together.
 TEST(LintFixtures, EveryRuleCovered) {
   const std::vector<std::string> bad_fixtures = {
       "unordered_iter_bad.cc", "wallclock_bad.cc",     "pointer_key_bad.h",
       "codec_parity_bad.cc",   "phase_sum_bad.h",      "phase_sum_missing.h",
       "pragma_once_bad.h",     "using_namespace_bad.h", "nodiscard_bad.h",
-      "obs_span_balance_bad.cc", "raw_thread_bad.cc",
+      "obs_span_balance_bad.cc", "raw_thread_bad.cc",   "taint_direct_bad.cc",
+      "taint_one_hop_bad.cc",
   };
   std::set<std::string> triggered;
   for (const std::string& name : bad_fixtures) {
     for (const Diagnostic& d : lint_fixture(name)) triggered.insert(d.rule);
   }
+
+  // arch-layering: the fixture inverts a layer edge once placed in src/util/.
+  ednsm::lint::Options layer_options;
+  layer_options.layers_text = "util:\nweb: util\n";
+  const std::string layering = std::string(EDNSM_LINT_FIXTURE_DIR) + "/arch_layering_bad.cc";
+  for (const Diagnostic& d : ednsm::lint::run_lint(
+           {SourceFile{"src/util/arch_layering_bad.cc", read_file(layering)}}, layer_options)) {
+    triggered.insert(d.rule);
+  }
+
+  // arch-include-cycle: both headers together close the loop.
+  std::vector<SourceFile> cycle;
+  for (const char* name : {"cycle_a.h", "cycle_b.h"}) {
+    cycle.push_back(SourceFile{name, read_file(std::string(EDNSM_LINT_FIXTURE_DIR) + "/" + name)});
+  }
+  for (const Diagnostic& d : ednsm::lint::run_lint(cycle)) triggered.insert(d.rule);
+
   for (const ednsm::lint::RuleInfo& r : ednsm::lint::rules()) {
     EXPECT_EQ(triggered.count(std::string(r.id)), 1u)
         << "rule has no triggering fixture: " << r.id;

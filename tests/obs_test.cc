@@ -8,7 +8,7 @@
 #include <chrono>
 
 #include "core/campaign.h"
-#include "core/json.h"
+#include "util/json.h"
 #include "core/parallel_campaign.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"

@@ -40,8 +40,9 @@
 #include <vector>
 
 #include "core/campaign.h"
-#include "core/json.h"
+#include "util/json.h"
 #include "core/parallel_campaign.h"
+#include "lint/lint.h"
 #include "monitor/monitor.h"
 #include "obs/profile.h"
 #include "resolver/registry.h"
@@ -320,9 +321,38 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Static-analyzer lane: the full-tree lint cost CI pays on every push
+    // (pass 1 index + pass 2 call graph + pass 3 rules). Roots are resolved
+    // against the current directory like the ednsm_lint CLI; when the tree is
+    // not there (bench run from an install dir) the lane reports zero files
+    // and is skipped rather than failing the suite. Wall time only — lint
+    // findings are the lint_tree ctest case's job, not the bench's.
+    double lint_wall_ms = 0.0;
+    std::size_t lint_files = 0;
+    {
+      const auto scope = profiler.scope("lint");
+      std::vector<lint::SourceFile> tree;
+      for (const char* root : {"src", "tools", "bench"}) {
+        for (lint::SourceFile& f : lint::load_tree({root})) tree.push_back(std::move(f));
+      }
+      lint_files = tree.size();
+      for (int run = 0; !tree.empty() && run < repeat; ++run) {
+        const auto start = WallClock::now();
+        const std::vector<lint::Diagnostic> diags = lint::run_lint(tree);
+        const double wall_ms = elapsed_ms(start);
+        if (run == 0 && !diags.empty()) {
+          std::fprintf(stderr, "note: lint lane saw %zu findings (not a bench failure)\n",
+                       diags.size());
+        }
+        if (run == 0 || wall_ms < lint_wall_ms) lint_wall_ms = wall_ms;
+      }
+    }
+
     o["bench"] = core::Json(std::string("micro"));
     o["header"] = make_header("micro", seed, threads, spec.vantage_ids.size(), spec.rounds);
     o["repeat"] = core::Json(static_cast<double>(repeat));
+    o["lint_files"] = core::Json(static_cast<double>(lint_files));
+    o["lint_wall_ms"] = core::Json(lint_wall_ms);
     o["ring_ops"] = core::Json(static_cast<double>(kRingOps));
     o["ring_checksum"] = core::Json(static_cast<double>(checksum));
     o["ring_ops_per_sec"] = core::Json(

@@ -1,10 +1,21 @@
 // ednsm_lint CLI: run the project-invariant static analyzer over source
 // roots (default: src tools bench, resolved against the current directory)
-// and exit nonzero when any unsuppressed violation remains.
+// and exit nonzero when any unsuppressed, non-baselined violation remains.
 //
-//   ednsm_lint                   # lint src/, tools/, bench/ under $PWD
-//   ednsm_lint path/to/src ...   # explicit roots (files or directories)
-//   ednsm_lint --list-rules      # print the rule table and exit
+//   ednsm_lint                          # lint src/, tools/, bench/ under $PWD
+//   ednsm_lint path/to/src ...          # explicit roots (files or directories)
+//   ednsm_lint --list-rules             # print the rule table and exit
+//   ednsm_lint --layers FILE            # module DAG config (default:
+//                                       #   tools/lint/layers.conf if present)
+//   ednsm_lint --baseline FILE          # subtract accepted findings (default:
+//                                       #   tools/lint/baseline.json if present)
+//   ednsm_lint --no-layers|--no-baseline  # disable the defaults
+//   ednsm_lint --json                   # machine-readable report on stdout
+//   ednsm_lint --json-out FILE          # write the JSON report to FILE too
+//   ednsm_lint --write-baseline FILE    # emit current findings as a baseline
+//                                       #   skeleton (reasons stubbed) and exit
+//
+// Exit codes: 0 clean, 1 findings (or stale baseline entries), 2 usage/config.
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -13,46 +24,107 @@
 #include <string>
 #include <vector>
 
+#include "lint/baseline.h"
 #include "lint/lint.h"
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: ednsm_lint [--list-rules] [root...]\n"
+  std::cerr << "usage: ednsm_lint [--list-rules] [--json] [--json-out FILE]\n"
+               "                  [--layers FILE | --no-layers]\n"
+               "                  [--baseline FILE | --no-baseline]\n"
+               "                  [--write-baseline FILE] [root...]\n"
                "Roots may be directories (scanned recursively for .h/.hpp/.cc/.cpp)\n"
                "or single files; default roots are src, tools, and bench.\n";
   return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = std::move(buf).str();
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  std::string layers_path;
+  std::string baseline_path;
+  std::string json_out_path;
+  std::string write_baseline_path;
+  bool json_stdout = false;
+  bool no_layers = false;
+  bool no_baseline = false;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "ednsm_lint: option '" << argv[i] << "' needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--list-rules") == 0) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
       for (const ednsm::lint::RuleInfo& r : ednsm::lint::rules()) {
         std::cout << r.id << ": " << r.summary << "\n";
       }
       return 0;
     }
-    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+    if (arg == "--help" || arg == "-h") return usage();
+    if (arg == "--json") {
+      json_stdout = true;
+      continue;
+    }
+    if (arg == "--no-layers") {
+      no_layers = true;
+      continue;
+    }
+    if (arg == "--no-baseline") {
+      no_baseline = true;
+      continue;
+    }
+    if (arg == "--layers" || arg == "--baseline" || arg == "--json-out" ||
+        arg == "--write-baseline") {
+      const char* value = need_value(i);
+      if (value == nullptr) return usage();
+      if (arg == "--layers") layers_path = value;
+      if (arg == "--baseline") baseline_path = value;
+      if (arg == "--json-out") json_out_path = value;
+      if (arg == "--write-baseline") write_baseline_path = value;
+      continue;
+    }
+    if (arg[0] == '-') {
+      std::cerr << "ednsm_lint: unknown option '" << arg << "'\n";
       return usage();
     }
-    if (argv[i][0] == '-') {
-      std::cerr << "ednsm_lint: unknown option '" << argv[i] << "'\n";
-      return usage();
-    }
-    roots.emplace_back(argv[i]);
+    roots.emplace_back(arg);
   }
   if (roots.empty()) roots = {"src", "tools", "bench"};
+  // Committed defaults, picked up when running from the repo root.
+  if (layers_path.empty() && !no_layers &&
+      std::filesystem::is_regular_file("tools/lint/layers.conf")) {
+    layers_path = "tools/lint/layers.conf";
+  }
+  if (baseline_path.empty() && !no_baseline &&
+      std::filesystem::is_regular_file("tools/lint/baseline.json")) {
+    baseline_path = "tools/lint/baseline.json";
+  }
 
   std::vector<ednsm::lint::SourceFile> files;
   for (const std::string& root : roots) {
     if (std::filesystem::is_regular_file(root)) {
-      std::ifstream in(root, std::ios::binary);
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      files.push_back({root, std::move(buf).str()});
+      std::string content;
+      if (!read_file(root, &content)) {
+        std::cerr << "ednsm_lint: cannot read " << root << "\n";
+        return 2;
+      }
+      files.push_back({root, std::move(content)});
     } else if (std::filesystem::is_directory(root)) {
       for (ednsm::lint::SourceFile& f : ednsm::lint::load_tree({root})) {
         files.push_back(std::move(f));
@@ -67,15 +139,83 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::vector<ednsm::lint::Diagnostic> diags = ednsm::lint::run_lint(files);
-  for (const ednsm::lint::Diagnostic& d : diags) {
-    std::cout << ednsm::lint::format(d) << "\n";
+  ednsm::lint::Options options;
+  if (!layers_path.empty() && !read_file(layers_path, &options.layers_text)) {
+    std::cerr << "ednsm_lint: cannot read layers config " << layers_path << "\n";
+    return 2;
   }
-  if (!diags.empty()) {
-    std::cout << "ednsm_lint: " << diags.size() << " violation" << (diags.size() == 1 ? "" : "s")
-              << " in " << files.size() << " files\n";
+
+  std::vector<ednsm::lint::Diagnostic> diags = ednsm::lint::run_lint(files, options);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << ednsm::lint::baseline_to_json(diags);
+    if (!out) {
+      std::cerr << "ednsm_lint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    std::cout << "ednsm_lint: wrote " << diags.size() << " finding"
+              << (diags.size() == 1 ? "" : "s") << " to " << write_baseline_path
+              << " (fill in the reasons before committing)\n";
+    return 0;
+  }
+
+  std::vector<ednsm::lint::BaselineEntry> stale;
+  std::size_t baselined = 0;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, &text)) {
+      std::cerr << "ednsm_lint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::vector<ednsm::lint::BaselineEntry> entries;
+    std::string error;
+    if (!ednsm::lint::parse_baseline(text, &entries, &error)) {
+      std::cerr << "ednsm_lint: " << baseline_path << ": " << error << "\n";
+      return 2;
+    }
+    ednsm::lint::BaselineResult result =
+        ednsm::lint::apply_baseline(std::move(diags), entries);
+    diags = std::move(result.remaining);
+    stale = std::move(result.stale);
+    baselined = result.suppressed;
+  }
+
+  const std::string report = ednsm::lint::format_json(diags);
+  if (!json_out_path.empty()) {
+    std::ofstream out(json_out_path, std::ios::binary);
+    out << report;
+    if (!out) {
+      std::cerr << "ednsm_lint: cannot write " << json_out_path << "\n";
+      return 2;
+    }
+  }
+  if (json_stdout) {
+    std::cout << report;
+  } else {
+    for (const ednsm::lint::Diagnostic& d : diags) {
+      std::cout << ednsm::lint::format(d) << "\n";
+    }
+  }
+  for (const ednsm::lint::BaselineEntry& e : stale) {
+    std::cerr << "ednsm_lint: stale baseline entry (matches no finding): rule=" << e.rule
+              << " path=" << e.path << (e.key.empty() ? "" : " key=" + e.key)
+              << " — remove it from " << baseline_path << "\n";
+  }
+  if (!diags.empty() || !stale.empty()) {
+    if (!json_stdout) {
+      std::cout << "ednsm_lint: " << diags.size() << " violation"
+                << (diags.size() == 1 ? "" : "s") << " in " << files.size() << " files";
+      if (baselined > 0) std::cout << " (" << baselined << " baselined)";
+      if (!stale.empty()) std::cout << ", " << stale.size() << " stale baseline entries";
+      std::cout << "\n";
+    }
     return 1;
   }
-  std::cout << "ednsm_lint: clean (" << files.size() << " files)\n";
+  if (!json_stdout) {
+    std::cout << "ednsm_lint: clean (" << files.size() << " files";
+    if (baselined > 0) std::cout << ", " << baselined << " baselined findings";
+    std::cout << ")\n";
+  }
   return 0;
 }

@@ -26,7 +26,7 @@
 #include <string>
 #include <vector>
 
-#include "core/json.h"
+#include "util/json.h"
 #include "util/fs.h"
 
 using namespace ednsm;

@@ -32,7 +32,7 @@
 #include <string>
 #include <vector>
 
-#include "core/json.h"
+#include "util/json.h"
 
 using namespace ednsm;
 

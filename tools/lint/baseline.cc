@@ -1,0 +1,202 @@
+#include "lint/baseline.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <set>
+
+namespace ednsm::lint {
+
+namespace {
+
+// Minimal recursive-descent JSON reader for the baseline schema. The lint
+// library is deliberately self-contained (it must not depend on the code it
+// analyzes), so it cannot use src/util/json.h.
+struct Reader {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0) ++pos;
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    error = "baseline: expected '" + std::string(1, c) + "' at offset " + std::to_string(pos);
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool read_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char esc = text[pos++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default:
+            error = "baseline: unsupported escape '\\" + std::string(1, esc) + "'";
+            return false;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos >= text.size()) {
+      error = "baseline: unterminated string";
+      return false;
+    }
+    ++pos;  // closing quote
+    return true;
+  }
+};
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+bool matches(const BaselineEntry& e, const Diagnostic& d) {
+  if (e.rule != d.rule) return false;
+  if (!(d.path == e.path ||
+        (d.path.size() > e.path.size() && d.path.ends_with(e.path) &&
+         d.path[d.path.size() - e.path.size() - 1] == '/'))) {
+    return false;
+  }
+  return e.key.empty() || e.key == d.key;
+}
+
+}  // namespace
+
+bool parse_baseline(std::string_view json_text, std::vector<BaselineEntry>* out,
+                    std::string* error) {
+  out->clear();
+  Reader r{json_text, 0, {}};
+  if (!r.expect('{')) {
+    *error = r.error;
+    return false;
+  }
+  std::string top_key;
+  if (!r.read_string(&top_key) || top_key != "findings" || !r.expect(':') || !r.expect('[')) {
+    *error = r.error.empty() ? std::string("baseline: expected {\"findings\": [...]}") : r.error;
+    return false;
+  }
+  if (!r.peek(']')) {
+    do {
+      if (!r.expect('{')) {
+        *error = r.error;
+        return false;
+      }
+      BaselineEntry e;
+      if (!r.peek('}')) {
+        do {
+          std::string field;
+          std::string value;
+          if (!r.read_string(&field) || !r.expect(':') || !r.read_string(&value)) {
+            *error = r.error;
+            return false;
+          }
+          if (field == "rule") {
+            e.rule = value;
+          } else if (field == "path") {
+            e.path = value;
+          } else if (field == "key") {
+            e.key = value;
+          } else if (field == "reason") {
+            e.reason = value;
+          } else {
+            *error = "baseline: unknown field '" + field + "'";
+            return false;
+          }
+        } while (r.peek(',') && r.expect(','));
+      }
+      if (!r.expect('}')) {
+        *error = r.error;
+        return false;
+      }
+      if (e.rule.empty() || e.path.empty()) {
+        *error = "baseline: every entry needs non-empty \"rule\" and \"path\"";
+        return false;
+      }
+      if (e.reason.empty()) {
+        *error = "baseline: entry for " + e.rule + " @ " + e.path +
+                 " has no \"reason\": accepted findings must say why";
+        return false;
+      }
+      out->push_back(std::move(e));
+    } while (r.peek(',') && r.expect(','));
+  }
+  if (!r.expect(']') || !r.expect('}')) {
+    *error = r.error;
+    return false;
+  }
+  return true;
+}
+
+BaselineResult apply_baseline(std::vector<Diagnostic> diags,
+                              const std::vector<BaselineEntry>& baseline) {
+  BaselineResult result;
+  std::vector<bool> used(baseline.size(), false);
+  for (Diagnostic& d : diags) {
+    bool covered = false;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (matches(baseline[i], d)) {
+        used[i] = true;
+        covered = true;  // keep scanning: mark every entry this finding vouches for
+      }
+    }
+    if (covered) {
+      ++result.suppressed;
+    } else {
+      result.remaining.push_back(std::move(d));
+    }
+  }
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    if (!used[i]) result.stale.push_back(baseline[i]);
+  }
+  return result;
+}
+
+std::string baseline_to_json(const std::vector<Diagnostic>& diags) {
+  // One entry per distinct (rule, path, key): the baseline is identity-based,
+  // not occurrence-based.
+  std::set<std::array<std::string, 3>> entries;
+  for (const Diagnostic& d : diags) {
+    entries.insert({d.rule, d.path, d.key});
+  }
+  std::string out = "{\"findings\": [\n";
+  bool first = true;
+  for (const auto& [rule, path, key] : entries) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"rule\": " + json_quote(rule) + ", \"path\": " + json_quote(path) +
+           ", \"key\": " + json_quote(key) + ", \"reason\": \"TODO: justify\"}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace ednsm::lint

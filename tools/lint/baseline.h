@@ -1,0 +1,44 @@
+// Baseline mechanism: a committed JSON file of accepted findings
+// (tools/lint/baseline.json) that the CLI subtracts from the live report.
+//
+// Entries match on (rule, path suffix, key) — never on line numbers, so
+// unrelated edits don't churn the baseline. Every entry must carry a reason,
+// and every entry must still match a live finding (stale entries are
+// reported so the baseline cannot silently outlive its debt).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace ednsm::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;    // suffix-matched against diagnostic paths
+  std::string key;     // "" matches any key for (rule, path)
+  std::string reason;  // required: why this finding is accepted
+};
+
+// Parse {"findings":[{"rule":...,"path":...,"key":...,"reason":...}]}.
+// Returns false and sets *error on malformed input or a missing reason.
+[[nodiscard]] bool parse_baseline(std::string_view json_text, std::vector<BaselineEntry>* out,
+                                  std::string* error);
+
+struct BaselineResult {
+  std::vector<Diagnostic> remaining;       // findings the baseline does not cover
+  std::vector<BaselineEntry> stale;        // entries that matched nothing
+  std::size_t suppressed = 0;              // findings the baseline absorbed
+};
+
+[[nodiscard]] BaselineResult apply_baseline(std::vector<Diagnostic> diags,
+                                            const std::vector<BaselineEntry>& baseline);
+
+// Serialize the given findings as a baseline file (reasons stubbed with
+// "TODO: justify" so --write-baseline output is reviewable, not committable
+// as-is). Stable output: entries sorted, one per line.
+[[nodiscard]] std::string baseline_to_json(const std::vector<Diagnostic>& diags);
+
+}  // namespace ednsm::lint

@@ -1,0 +1,187 @@
+#include "lint/layers.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace ednsm::lint {
+
+namespace {
+
+constexpr std::string_view kLayering = "arch-layering";
+constexpr std::string_view kIncludeCycle = "arch-include-cycle";
+
+}  // namespace
+
+bool LayerConfig::parse(std::string_view text, LayerConfig* out, std::string* error) {
+  out->deps.clear();
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string module;
+    if (!(fields >> module)) continue;  // blank / comment-only line
+    if (module.back() != ':') {
+      *error = "layers.conf:" + std::to_string(lineno) +
+               ": expected 'module: dep dep ...', got '" + line + "'";
+      return false;
+    }
+    module.pop_back();
+    if (out->deps.count(module) > 0) {
+      *error = "layers.conf:" + std::to_string(lineno) + ": module '" + module +
+               "' declared twice";
+      return false;
+    }
+    std::set<std::string>& deps = out->deps[module];
+    std::string dep;
+    while (fields >> dep) deps.insert(dep);
+  }
+
+  for (const auto& [module, deps] : out->deps) {
+    for (const std::string& dep : deps) {
+      if (out->deps.count(dep) == 0) {
+        *error = "layers.conf: module '" + module + "' depends on undeclared module '" +
+                 dep + "'";
+        return false;
+      }
+      if (dep == module) {
+        *error = "layers.conf: module '" + module + "' depends on itself";
+        return false;
+      }
+    }
+  }
+
+  // The declared graph must be acyclic — otherwise "layering" constrains
+  // nothing. Colors: 0 unvisited, 1 on stack, 2 done.
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+  std::function<bool(const std::string&)> visit = [&](const std::string& m) {
+    color[m] = 1;
+    stack.push_back(m);
+    for (const std::string& dep : out->deps.at(m)) {
+      if (color[dep] == 1) {
+        std::string cycle = dep;
+        for (auto it = std::find(stack.begin(), stack.end(), dep); it != stack.end(); ++it) {
+          if (*it != dep) cycle += " -> " + *it;
+        }
+        *error = "layers.conf: declared dependencies contain a cycle: " + cycle + " -> " + dep;
+        return false;
+      }
+      if (color[dep] == 0 && !visit(dep)) return false;
+    }
+    stack.pop_back();
+    color[m] = 2;
+    return true;
+  };
+  for (const auto& [module, deps] : out->deps) {
+    if (color[module] == 0 && !visit(module)) return false;
+  }
+  return true;
+}
+
+void check_layering(const SymbolIndex& index, const LayerConfig& config,
+                    std::vector<Diagnostic>& out) {
+  for (std::size_t fi = 0; fi < index.files.size(); ++fi) {
+    const std::string& from = index.modules[fi];
+    if (from.empty()) continue;  // only src/<module>/ files carry layer obligations
+    const Prepared& p = index.files[fi];
+    if (config.deps.count(from) == 0) {
+      out.push_back({std::string(p.file->path), 1, std::string(kLayering),
+                     "module '" + from +
+                         "' is not declared in layers.conf: add it (with its allowed "
+                         "dependencies) so the layering DAG stays complete",
+                     from + "->?",
+                     {}});
+      continue;
+    }
+    const std::set<std::string>& allowed = config.deps.at(from);
+    for (const IncludeEdge& inc : index.includes[fi]) {
+      const std::size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;  // sibling include, same module
+      const std::string to = inc.target.substr(0, slash);
+      if (to == from || config.deps.count(to) == 0) continue;  // non-module prefix
+      if (allowed.count(to) > 0) continue;
+      out.push_back({std::string(p.file->path), inc.line, std::string(kLayering),
+                     "include of \"" + inc.target + "\" creates a '" + from + "' -> '" + to +
+                         "' edge that layers.conf does not allow: depend downward only "
+                         "(declare the edge in tools/lint/layers.conf if it is a "
+                         "deliberate architecture change)",
+                     from + "->" + to,
+                     {}});
+    }
+  }
+}
+
+void check_include_cycles(const SymbolIndex& index, std::vector<Diagnostic>& out) {
+  // Resolve quoted includes to scanned files by path suffix.
+  const std::size_t n = index.files.size();
+  std::vector<std::vector<int>> edges(n);
+  for (std::size_t fi = 0; fi < n; ++fi) {
+    for (const IncludeEdge& inc : index.includes[fi]) {
+      for (std::size_t ti = 0; ti < n; ++ti) {
+        const std::string& path = index.files[ti].file->path;
+        if (path == inc.target ||
+            (path.size() > inc.target.size() &&
+             path.ends_with(inc.target) &&
+             path[path.size() - inc.target.size() - 1] == '/')) {
+          edges[fi].push_back(static_cast<int>(ti));
+        }
+      }
+    }
+    std::sort(edges[fi].begin(), edges[fi].end());
+    edges[fi].erase(std::unique(edges[fi].begin(), edges[fi].end()), edges[fi].end());
+  }
+
+  // Iterative-enough DFS (the tree is small; recursion depth = include depth).
+  std::vector<int> color(n, 0);
+  std::vector<int> stack;
+  std::set<std::string> reported;  // canonical cycle keys, to report each once
+  std::function<void(int)> visit = [&](int v) {
+    color[static_cast<std::size_t>(v)] = 1;
+    stack.push_back(v);
+    for (const int w : edges[static_cast<std::size_t>(v)]) {
+      if (color[static_cast<std::size_t>(w)] == 1) {
+        // Extract the cycle w -> ... -> v -> w from the stack.
+        std::vector<int> cycle(std::find(stack.begin(), stack.end(), w), stack.end());
+        // Canonicalize: rotate so the smallest path comes first.
+        auto smallest = std::min_element(
+            cycle.begin(), cycle.end(), [&](int a, int b) {
+              return index.files[static_cast<std::size_t>(a)].file->path <
+                     index.files[static_cast<std::size_t>(b)].file->path;
+            });
+        std::rotate(cycle.begin(), smallest, cycle.end());
+        std::string key;
+        std::string pretty;
+        for (const int id : cycle) {
+          const std::string& path = index.files[static_cast<std::size_t>(id)].file->path;
+          key += path + ";";
+          pretty += path + " -> ";
+        }
+        pretty += index.files[static_cast<std::size_t>(cycle.front())].file->path;
+        if (!reported.insert(key).second) continue;
+        const int anchor = cycle.front();
+        out.push_back({index.files[static_cast<std::size_t>(anchor)].file->path, 1,
+                       std::string(kIncludeCycle),
+                       "include cycle: " + pretty +
+                           ": headers in a cycle cannot be layered and break "
+                           "independent compilation; invert one edge or split the "
+                           "shared declarations into a lower header",
+                       key,
+                       {}});
+      } else if (color[static_cast<std::size_t>(w)] == 0) {
+        visit(w);
+      }
+    }
+    stack.pop_back();
+    color[static_cast<std::size_t>(v)] = 2;
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    if (color[v] == 0) visit(static_cast<int>(v));
+  }
+}
+
+}  // namespace ednsm::lint

@@ -1,0 +1,40 @@
+// Module-layering enforcement for src/: a declared dependency DAG
+// (tools/lint/layers.conf) that every `#include "module/..."` edge must obey,
+// plus file-level include-cycle detection (which needs no configuration).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/index.h"
+#include "lint/lint.h"
+
+namespace ednsm::lint {
+
+// Parsed layers.conf: one line per module, `module: dep dep ...` (empty dep
+// list allowed: `util:`), `#` comments, blank lines ignored. The declared
+// graph itself must be a DAG — a cycle in the declaration is a config error,
+// not a finding.
+struct LayerConfig {
+  std::map<std::string, std::set<std::string>> deps;
+
+  // Parse and validate. Returns false and sets *error on malformed lines,
+  // deps on undeclared modules, or a cycle in the declared graph.
+  [[nodiscard]] static bool parse(std::string_view text, LayerConfig* out, std::string* error);
+};
+
+// arch-layering: every include from src/<from>/ into src/<to>/ must have
+// `to` in deps[from]. Files in modules absent from the config are flagged
+// too (new modules must be declared). Diagnostics carry key "from->to".
+void check_layering(const SymbolIndex& index, const LayerConfig& config,
+                    std::vector<Diagnostic>& out);
+
+// arch-include-cycle: resolve quoted includes against the scanned file set
+// (by path suffix) and reject any cycle in the file-level include graph.
+// Each cycle is reported once, anchored at its lexicographically smallest
+// path, with the full cycle in the message; key is the joined cycle.
+void check_include_cycles(const SymbolIndex& index, std::vector<Diagnostic>& out);
+
+}  // namespace ednsm::lint

@@ -1,7 +1,7 @@
 #include "lint/lint.h"
 
 #include <algorithm>
-#include <cctype>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -10,20 +10,26 @@
 #include <sstream>
 #include <string_view>
 
+#include "lint/graph.h"
+#include "lint/layers.h"
+
 namespace ednsm::lint {
 
 namespace {
 
 // ---------------------------------------------------------------------------
 // Rule IDs. These are the stable, user-facing names used in diagnostics and
-// in `// ednsm-lint: allow(...)` suppressions.
+// in `// ednsm-lint: allow(...)` suppressions and baseline entries.
 // ---------------------------------------------------------------------------
 
 constexpr std::string_view kUnorderedIter = "determinism-unordered-iter";
 constexpr std::string_view kWallclock = "determinism-wallclock";
 constexpr std::string_view kPointerKey = "determinism-pointer-key";
+constexpr std::string_view kTaint = "determinism-taint";
 constexpr std::string_view kCodecParity = "codec-parity";
 constexpr std::string_view kPhaseSum = "phase-sum";
+constexpr std::string_view kLayering = "arch-layering";
+constexpr std::string_view kIncludeCycle = "arch-include-cycle";
 constexpr std::string_view kPragmaOnce = "hygiene-pragma-once";
 constexpr std::string_view kUsingNamespace = "hygiene-using-namespace";
 constexpr std::string_view kNodiscardResult = "hygiene-nodiscard-result";
@@ -40,12 +46,24 @@ const std::vector<RuleInfo> kRules = {
     {kPointerKey,
      "ordered container keyed by pointer: iteration order follows allocation "
      "addresses; use an unordered (hashed) container for point access"},
+    {kTaint,
+     "a nondeterministic value (wall clock, thread id, pointer-to-integer cast, "
+     "unordered iteration) flows along call edges into a serialization sink "
+     "(to_json / shard writers / obs export); the diagnostic names the full "
+     "source-to-sink call path — suppress at the source line, the true origin"},
     {kCodecParity,
      "every public field of a struct with to_json/from_json must be referenced "
-     "by both the writer and the reader (round-trip completeness)"},
+     "by the writer and the reader (round-trip completeness); helper functions "
+     "called by the codec count as references"},
     {kPhaseSum,
      "every SimDuration phase member of a timing struct must be wired through "
      "phase_sum() (additive phase-timing discipline)"},
+    {kLayering,
+     "#include edge between src/ modules that the declared dependency DAG "
+     "(tools/lint/layers.conf) does not allow; modules may depend downward only"},
+    {kIncludeCycle,
+     "cycle in the file-level include graph: headers in a cycle cannot be "
+     "layered and break independent compilation"},
     {kPragmaOnce, "header lacks #pragma once (or a classic include guard)"},
     {kUsingNamespace, "using namespace at header scope pollutes every includer"},
     {kNodiscardResult,
@@ -60,472 +78,6 @@ const std::vector<RuleInfo> kRules = {
      "staged pipeline's shard determinism and join/error discipline; route "
      "work through run_pipeline()"},
 };
-
-// ---------------------------------------------------------------------------
-// Preprocessing: blank comments and string/char literals (preserving byte
-// offsets and newlines) and collect suppression annotations.
-// ---------------------------------------------------------------------------
-
-struct Prepared {
-  const SourceFile* file = nullptr;
-  std::string code;                            // literals/comments blanked
-  std::string code_no_comments;                // strings kept, comments blanked
-  std::vector<std::size_t> line_starts;        // byte offset of each line start
-  std::map<int, std::set<std::string>> allows; // line -> suppressed rule IDs
-};
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-int line_of(const Prepared& p, std::size_t offset) {
-  const auto it = std::upper_bound(p.line_starts.begin(), p.line_starts.end(), offset);
-  return static_cast<int>(it - p.line_starts.begin());
-}
-
-// Parse `ednsm-lint: allow(a, b)` occurrences out of one comment's text and
-// register them for `line` (they also cover line+1; see is_allowed).
-void parse_suppressions(std::string_view comment, int line,
-                        std::map<int, std::set<std::string>>& allows) {
-  static constexpr std::string_view kMarker = "ednsm-lint:";
-  std::size_t pos = 0;
-  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
-    pos += kMarker.size();
-    const std::size_t open = comment.find("allow(", pos);
-    if (open == std::string_view::npos) return;
-    std::size_t i = open + 6;
-    std::string id;
-    for (; i < comment.size() && comment[i] != ')'; ++i) {
-      const char c = comment[i];
-      if (ident_char(c) || c == '-') {
-        id.push_back(c);
-      } else if (c == ',') {
-        if (!id.empty()) allows[line].insert(id);
-        id.clear();
-      }  // whitespace: field separator noise, ignore
-    }
-    if (!id.empty()) allows[line].insert(id);
-    pos = i;
-  }
-}
-
-Prepared prepare(const SourceFile& file) {
-  Prepared p;
-  p.file = &file;
-  const std::string& src = file.content;
-  p.code.assign(src.size(), ' ');
-  p.code_no_comments.assign(src.size(), ' ');
-  p.line_starts.push_back(0);
-
-  enum class State { Code, LineComment, BlockComment, Str, Chr, RawStr };
-  State state = State::Code;
-  std::string raw_delim;        // for RawStr: the ")delim\"" terminator
-  std::string comment_text;     // accumulated text of the current comment
-  int comment_line = 1;
-  int line = 1;
-
-  auto finish_comment = [&] {
-    parse_suppressions(comment_text, comment_line, p.allows);
-    comment_text.clear();
-  };
-
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    if (c == '\n') {
-      p.code[i] = '\n';
-      p.code_no_comments[i] = '\n';
-      ++line;
-      p.line_starts.push_back(i + 1);
-    }
-    switch (state) {
-      case State::Code:
-        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
-          state = State::LineComment;
-          comment_line = line;
-          ++i;  // both slashes stay blanked
-        } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
-          state = State::BlockComment;
-          comment_line = line;
-          ++i;
-        } else if (c == '"' && i >= 1 && src[i - 1] == 'R') {
-          // Raw string literal R"delim( ... )delim"
-          std::string delim;
-          std::size_t j = i + 1;
-          while (j < src.size() && src[j] != '(') delim.push_back(src[j++]);
-          raw_delim = ")" + delim + "\"";
-          p.code_no_comments[i] = c;
-          state = State::RawStr;
-        } else if (c == '"') {
-          p.code_no_comments[i] = c;
-          state = State::Str;
-        } else if (c == '\'' && !(i >= 1 && ident_char(src[i - 1]))) {
-          // A char literal, not a digit separator (1'000'000).
-          p.code_no_comments[i] = c;
-          state = State::Chr;
-        } else if (c != '\n') {
-          p.code[i] = c;
-          p.code_no_comments[i] = c;
-        }
-        break;
-      case State::LineComment:
-        if (c == '\n') {
-          finish_comment();
-          state = State::Code;
-        } else {
-          comment_text.push_back(c);
-        }
-        break;
-      case State::BlockComment:
-        if (c == '*' && i + 1 < src.size() && src[i + 1] == '/') {
-          finish_comment();
-          ++i;
-          state = State::Code;
-        } else {
-          comment_text.push_back(c);
-        }
-        break;
-      case State::Str:
-        if (c != '\n') p.code_no_comments[i] = c;
-        if (c == '\\' && i + 1 < src.size()) {
-          p.code_no_comments[i + 1] = src[i + 1];
-          ++i;
-        } else if (c == '"') {
-          state = State::Code;
-        }
-        break;
-      case State::Chr:
-        if (c != '\n') p.code_no_comments[i] = c;
-        if (c == '\\' && i + 1 < src.size()) {
-          p.code_no_comments[i + 1] = src[i + 1];
-          ++i;
-        } else if (c == '\'') {
-          state = State::Code;
-        }
-        break;
-      case State::RawStr:
-        if (c != '\n') p.code_no_comments[i] = c;
-        if (c == ')' && src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 1; k < raw_delim.size() && i + k < src.size(); ++k) {
-            if (src[i + k] != '\n') p.code_no_comments[i + k] = src[i + k];
-          }
-          i += raw_delim.size() - 1;
-          state = State::Code;
-        }
-        break;
-    }
-  }
-  if (state == State::LineComment || state == State::BlockComment) finish_comment();
-
-  // Propagate suppressions downward through comment-only / blank lines, so a
-  // marker anywhere in the comment block directly above a statement covers
-  // the statement's first code line.
-  auto line_is_blank = [&](int ln) {
-    if (ln < 1 || ln > static_cast<int>(p.line_starts.size())) return false;
-    const std::size_t begin = p.line_starts[static_cast<std::size_t>(ln - 1)];
-    const std::size_t end = ln < static_cast<int>(p.line_starts.size())
-                                ? p.line_starts[static_cast<std::size_t>(ln)]
-                                : p.code.size();
-    for (std::size_t i = begin; i < end; ++i) {
-      if (std::isspace(static_cast<unsigned char>(p.code[i])) == 0) return false;
-    }
-    return true;
-  };
-  for (const auto& [ln, rules_at] : std::map<int, std::set<std::string>>(p.allows)) {
-    int l = ln;
-    while (line_is_blank(l) && l < ln + 20) ++l;
-    if (l != ln) p.allows[l].insert(rules_at.begin(), rules_at.end());
-  }
-  return p;
-}
-
-bool is_allowed(const Prepared& p, int line, std::string_view rule) {
-  for (const int l : {line, line - 1}) {
-    const auto it = p.allows.find(l);
-    if (it != p.allows.end() && it->second.count(std::string(rule)) > 0) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Token helpers over the blanked code.
-// ---------------------------------------------------------------------------
-
-bool word_at(std::string_view code, std::size_t pos, std::string_view word) {
-  if (code.compare(pos, word.size(), word) != 0) return false;
-  if (pos > 0 && ident_char(code[pos - 1])) return false;
-  const std::size_t end = pos + word.size();
-  return end >= code.size() || !ident_char(code[end]);
-}
-
-std::size_t find_word(std::string_view code, std::string_view word, std::size_t from = 0) {
-  for (std::size_t pos = code.find(word, from); pos != std::string_view::npos;
-       pos = code.find(word, pos + 1)) {
-    if (word_at(code, pos, word)) return pos;
-  }
-  return std::string_view::npos;
-}
-
-bool contains_word(std::string_view code, std::string_view word) {
-  return find_word(code, word) != std::string_view::npos;
-}
-
-std::size_t skip_ws(std::string_view code, std::size_t pos) {
-  while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos])) != 0) ++pos;
-  return pos;
-}
-
-// Position of the last non-whitespace char before pos, or npos.
-std::size_t prev_nonspace(std::string_view code, std::size_t pos) {
-  while (pos > 0) {
-    --pos;
-    if (std::isspace(static_cast<unsigned char>(code[pos])) == 0) return pos;
-  }
-  return std::string_view::npos;
-}
-
-std::string read_ident(std::string_view code, std::size_t pos, std::size_t* end = nullptr) {
-  std::size_t i = pos;
-  std::string out;
-  while (i < code.size() && ident_char(code[i])) out.push_back(code[i++]);
-  if (end != nullptr) *end = i;
-  return out;
-}
-
-// Match a template argument list starting at the '<' at `open`; returns the
-// offset just past the closing '>', or npos when this is not a template use
-// (comparison operator, unbalanced). Tolerates nested <>, () and [].
-std::size_t match_angle(std::string_view code, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    const char c = code[i];
-    if (c == '<') {
-      ++depth;
-    } else if (c == '>') {
-      if (--depth == 0) return i + 1;
-    } else if (c == ';' || c == '{' || c == '}') {
-      return std::string_view::npos;
-    }
-  }
-  return std::string_view::npos;
-}
-
-// Match a brace/paren block starting at `open` (which must hold open_ch);
-// returns offset just past the matching close, or npos.
-std::size_t match_block(std::string_view code, std::size_t open, char open_ch, char close_ch) {
-  int depth = 0;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    if (code[i] == open_ch) ++depth;
-    if (code[i] == close_ch && --depth == 0) return i + 1;
-  }
-  return std::string_view::npos;
-}
-
-bool is_header(std::string_view path) {
-  return path.ends_with(".h") || path.ends_with(".hpp");
-}
-
-bool path_contains(std::string_view path, std::string_view needle) {
-  return path.find(needle) != std::string_view::npos;
-}
-
-// ---------------------------------------------------------------------------
-// Struct model: fields + bodies, shared by codec-parity and phase-sum.
-// ---------------------------------------------------------------------------
-
-struct Field {
-  std::string name;
-  std::string decl;  // full declaration text (initializer braces stripped)
-  int line = 0;
-};
-
-struct StructDef {
-  std::string name;
-  const Prepared* where = nullptr;
-  int line = 0;
-  std::size_t body_begin = 0;  // offset just past '{'
-  std::size_t body_end = 0;    // offset of '}'
-  std::vector<Field> fields;   // public, non-static, non-function members
-  bool has_to_json = false;
-  bool has_from_json = false;
-  bool has_phase_sum = false;
-};
-
-// Parse the public data members out of a struct body. Walks depth-1
-// statements; `{...}` groups at depth 1 are skipped (function bodies and
-// brace initializers alike) and the statement is kept only when a ';'
-// terminates it afterwards.
-void parse_fields(const Prepared& p, StructDef& s) {
-  const std::string_view code = p.code;
-  bool collecting = true;  // struct scope starts public
-  std::string chunk;
-  std::size_t chunk_begin = s.body_begin;
-  bool saw_braces = false;
-
-  for (std::size_t i = s.body_begin; i < s.body_end; ++i) {
-    const char c = code[i];
-    if (c == '{' || c == '(') {
-      // Skip nested blocks wholesale. Parens are kept in the chunk as a
-      // marker (function detection) but their contents are dropped.
-      const char close = c == '{' ? '}' : ')';
-      const std::size_t end = match_block(code, i, c, close);
-      if (end == std::string_view::npos || end > s.body_end) break;
-      if (c == '(') {
-        chunk += "()";
-      } else {
-        saw_braces = true;
-      }
-      i = end - 1;
-      continue;
-    }
-    if (c == ':' && (i + 1 >= code.size() || code[i + 1] != ':') &&
-        (i == 0 || code[i - 1] != ':')) {
-      // Access specifier boundary: the chunk so far is `public` / `private` /
-      // `protected` (or a bit-field / base clause, which we don't have).
-      std::string label = chunk;
-      label.erase(std::remove_if(label.begin(), label.end(),
-                                 [](char ch) { return std::isspace(static_cast<unsigned char>(ch)) != 0; }),
-                  label.end());
-      if (label == "public") collecting = true;
-      if (label == "private" || label == "protected") collecting = false;
-      chunk.clear();
-      chunk_begin = i + 1;
-      saw_braces = false;
-      continue;
-    }
-    if (c == ';') {
-      std::string stmt = chunk;
-      chunk.clear();
-      const std::size_t stmt_begin = chunk_begin;
-      chunk_begin = i + 1;
-      const bool braced = saw_braces;
-      saw_braces = false;
-      if (!collecting) continue;
-      // Strip attributes like [[nodiscard]].
-      for (std::size_t a = stmt.find("[["); a != std::string::npos; a = stmt.find("[[")) {
-        const std::size_t b = stmt.find("]]", a);
-        if (b == std::string::npos) break;
-        stmt.erase(a, b - a + 2);
-      }
-      const std::size_t first = stmt.find_first_not_of(" \t\n");
-      if (first == std::string::npos) continue;
-      stmt = stmt.substr(first);
-      if (stmt.starts_with("using ") || stmt.starts_with("static ") ||
-          stmt.starts_with("friend ") || stmt.starts_with("typedef ") ||
-          stmt.starts_with("template") || stmt.starts_with("enum ") ||
-          stmt.starts_with("struct ") || stmt.starts_with("class ")) {
-        continue;
-      }
-      // A '(' before any '=' marks a function declaration, not a field
-      // (initializers may legitimately call functions after the '=').
-      const std::size_t paren = stmt.find('(');
-      const std::size_t eq = stmt.find('=');
-      if (paren != std::string::npos && (eq == std::string::npos || paren < eq)) continue;
-      if (stmt.find("operator") != std::string::npos) continue;
-      // Field name: identifier before '=' when present, else the last
-      // identifier (brace initializers were stripped above, so `T name{0}`
-      // reduces to `T name`).
-      std::string_view head(stmt);
-      if (eq != std::string::npos) head = head.substr(0, eq);
-      std::size_t end = head.size();
-      while (end > 0 && !ident_char(head[end - 1])) --end;
-      std::size_t begin = end;
-      while (begin > 0 && ident_char(head[begin - 1])) --begin;
-      if (begin == end) continue;
-      std::string name(head.substr(begin, end - begin));
-      if (name.empty() || (std::isdigit(static_cast<unsigned char>(name[0])) != 0)) continue;
-      (void)braced;
-      // Anchor the field's line at its first non-whitespace character, not at
-      // the previous statement's terminator (blanked comments in between are
-      // whitespace by now).
-      const std::size_t anchor = std::min(skip_ws(code, stmt_begin), i);
-      s.fields.push_back(Field{std::move(name), stmt, line_of(p, anchor)});
-    } else {
-      chunk.push_back(c);
-    }
-  }
-}
-
-std::vector<StructDef> collect_structs(const std::vector<Prepared>& files) {
-  std::vector<StructDef> out;
-  for (const Prepared& p : files) {
-    const std::string_view code = p.code;
-    for (std::size_t pos = find_word(code, "struct"); pos != std::string_view::npos;
-         pos = find_word(code, "struct", pos + 1)) {
-      std::size_t after = skip_ws(code, pos + 6);
-      std::size_t name_end = after;
-      const std::string name = read_ident(code, after, &name_end);
-      if (name.empty()) continue;
-      // Scan forward over `final` / base clause to '{'; a ';' first means a
-      // forward declaration.
-      std::size_t brace = name_end;
-      while (brace < code.size() && code[brace] != '{' && code[brace] != ';') ++brace;
-      if (brace >= code.size() || code[brace] != '{') continue;
-      const std::size_t end = match_block(code, brace, '{', '}');
-      if (end == std::string_view::npos) continue;
-      StructDef s;
-      s.name = name;
-      s.where = &p;
-      s.line = line_of(p, pos);
-      s.body_begin = brace + 1;
-      s.body_end = end - 1;
-      const std::string_view body = code.substr(s.body_begin, s.body_end - s.body_begin);
-      s.has_to_json = contains_word(body, "to_json");
-      s.has_from_json = contains_word(body, "from_json");
-      s.has_phase_sum = contains_word(body, "phase_sum");
-      if (s.has_to_json || s.has_from_json || s.has_phase_sum ||
-          contains_word(body, "SimDuration")) {
-        parse_fields(p, s);
-      }
-      out.push_back(std::move(s));
-    }
-  }
-  return out;
-}
-
-// Find the body of `Struct::method` (out-of-line) anywhere in the tree, or
-// an inline definition inside the struct body. Returns the body text with
-// string literals intact (so JSON key names remain searchable).
-std::optional<std::string> find_method_body(const std::vector<Prepared>& files,
-                                            const StructDef& s, std::string_view method) {
-  const std::string qualified = s.name + "::";
-  for (const Prepared& p : files) {
-    const std::string_view code = p.code;
-    for (std::size_t pos = code.find(qualified); pos != std::string::npos;
-         pos = code.find(qualified, pos + 1)) {
-      if (pos > 0 && ident_char(code[pos - 1])) continue;
-      const std::size_t m = pos + qualified.size();
-      if (!word_at(code, m, method)) continue;
-      // Walk to the opening brace of the definition (skipping the parameter
-      // list and specifiers); a ';' first means this is just a declaration.
-      std::size_t i = m + method.size();
-      i = skip_ws(code, i);
-      if (i >= code.size() || code[i] != '(') continue;
-      i = match_block(code, i, '(', ')');
-      if (i == std::string_view::npos) continue;
-      while (i < code.size() && code[i] != '{' && code[i] != ';') ++i;
-      if (i >= code.size() || code[i] != '{') continue;
-      const std::size_t end = match_block(code, i, '{', '}');
-      if (end == std::string_view::npos) continue;
-      return std::string(p.code_no_comments.substr(i, end - i));
-    }
-  }
-  // Inline definition inside the struct body.
-  const std::string_view code = s.where->code;
-  for (std::size_t pos = find_word(code, method, s.body_begin);
-       pos != std::string_view::npos && pos < s.body_end;
-       pos = find_word(code, method, pos + 1)) {
-    std::size_t i = skip_ws(code, pos + method.size());
-    if (i >= code.size() || code[i] != '(') continue;
-    i = match_block(code, i, '(', ')');
-    if (i == std::string_view::npos) continue;
-    while (i < s.body_end && code[i] != '{' && code[i] != ';') ++i;
-    if (i >= s.body_end || code[i] != '{') continue;
-    const std::size_t end = match_block(code, i, '{', '}');
-    if (end == std::string_view::npos) continue;
-    return std::string(s.where->code_no_comments.substr(i, end - i));
-  }
-  return std::nullopt;
-}
 
 // ---------------------------------------------------------------------------
 // Rule: determinism-unordered-iter
@@ -614,8 +166,17 @@ void harvest_alias_decls(const Prepared& p, const std::set<std::string>& aliases
   }
 }
 
-void check_unordered_iteration(const Prepared& p, const std::set<std::string>& names,
-                               std::vector<Diagnostic>& out) {
+// One unordered-iteration site. Shared by the token rule (which reports it
+// directly) and the taint pass (which follows it to serialization sinks).
+struct UnorderedSite {
+  std::size_t pos = 0;
+  std::string name;
+  std::string what;  // "range-for" or "iterator walk"
+};
+
+std::vector<UnorderedSite> collect_unordered_sites(const Prepared& p,
+                                                   const std::set<std::string>& names) {
+  std::vector<UnorderedSite> sites;
   const std::string_view code = p.code;
   // Range-for whose range expression mentions a harvested name.
   for (std::size_t pos = find_word(code, "for"); pos != std::string_view::npos;
@@ -651,12 +212,7 @@ void check_unordered_iteration(const Prepared& p, const std::set<std::string>& n
     }
     for (const std::string& name : names) {
       if (range == name || range.ends_with("." + name) || range.ends_with(">" + name)) {
-        out.push_back({std::string(p.file->path), line_of(p, pos), std::string(kUnorderedIter),
-                       "range-for over unordered container '" + name +
-                           "': iteration order is the hash order, which leaks "
-                           "nondeterminism into anything emitted from this loop; sort "
-                           "keys at the emission point (or suppress with a rationale "
-                           "if order provably cannot escape)"});
+        sites.push_back(UnorderedSite{pos, name, "range-for"});
         break;
       }
     }
@@ -669,11 +225,35 @@ void check_unordered_iteration(const Prepared& p, const std::set<std::string>& n
       if (i >= code.size() || code[i] != '.') continue;
       i = skip_ws(code, i + 1);
       if (word_at(code, i, "begin") || word_at(code, i, "cbegin")) {
-        out.push_back({std::string(p.file->path), line_of(p, pos), std::string(kUnorderedIter),
-                       "iterator walk over unordered container '" + name +
-                           "' (begin()): iteration order is the hash order; sort keys "
-                           "at the emission point or suppress with a rationale"});
+        sites.push_back(UnorderedSite{pos, name, "iterator walk"});
       }
+    }
+  }
+  std::sort(sites.begin(), sites.end(), [](const UnorderedSite& a, const UnorderedSite& b) {
+    return std::tie(a.pos, a.name) < std::tie(b.pos, b.name);
+  });
+  return sites;
+}
+
+void check_unordered_iteration(const Prepared& p, const std::vector<UnorderedSite>& sites,
+                               std::vector<Diagnostic>& out) {
+  for (const UnorderedSite& s : sites) {
+    if (s.what == "range-for") {
+      out.push_back({std::string(p.file->path), line_of(p, s.pos), std::string(kUnorderedIter),
+                     "range-for over unordered container '" + s.name +
+                         "': iteration order is the hash order, which leaks "
+                         "nondeterminism into anything emitted from this loop; sort "
+                         "keys at the emission point (or suppress with a rationale "
+                         "if order provably cannot escape)",
+                     "",
+                     {}});
+    } else {
+      out.push_back({std::string(p.file->path), line_of(p, s.pos), std::string(kUnorderedIter),
+                     "iterator walk over unordered container '" + s.name +
+                         "' (begin()): iteration order is the hash order; sort keys "
+                         "at the emission point or suppress with a rationale",
+                     "",
+                     {}});
     }
   }
 }
@@ -691,7 +271,9 @@ void check_wallclock(const Prepared& p, std::vector<Diagnostic>& out) {
     out.push_back({std::string(p.file->path), line_of(p, pos), std::string(kWallclock),
                    what + " is nondeterministic across runs; simulation code must go "
                           "through netsim's seeded clock/RNG (wall-clock benchmark "
-                          "harness timing may suppress with a rationale)"});
+                          "harness timing may suppress with a rationale)",
+                   "",
+                   {}});
   };
 
   for (const std::string_view word :
@@ -785,7 +367,9 @@ void check_pointer_keys(const Prepared& p, std::vector<Diagnostic>& out) {
                        "std::" + std::string(word) + " keyed by pointer type '" + key +
                            "': comparison order follows allocation addresses, which "
                            "differ across runs; use an unordered (hashed) container "
-                           "for point access, or key by a stable ID if iterated"});
+                           "for point access, or key by a stable ID if iterated",
+                       "",
+                       {}});
       }
     }
   }
@@ -795,12 +379,66 @@ void check_pointer_keys(const Prepared& p, std::vector<Diagnostic>& out) {
 // Rules: codec-parity and phase-sum
 // ---------------------------------------------------------------------------
 
-void check_codec_parity(const std::vector<Prepared>& files, const std::vector<StructDef>& structs,
+// The body of `Struct::method` expanded with the bodies of its intraproject
+// callees (depth <= 2, same module or same file), so a field serialized
+// inside a helper function still counts as referenced. Falls back to the
+// plain body when the function pass did not model the method.
+std::optional<std::string> expanded_method_body(const SymbolIndex& index, const CallGraph& graph,
+                                                const StructDef& s, std::string_view method) {
+  // Locate the defined FunctionDef for Struct::method. When several structs
+  // share a name, prefer the definition inline in this struct's body, then
+  // one in the struct's own module.
+  int fn = -1;
+  int best_rank = -1;
+  for (const int id : index.definitions_named(method)) {
+    const FunctionDef& cand = index.functions[static_cast<std::size_t>(id)];
+    if (cand.class_name != s.name) continue;
+    int rank = 0;
+    if (!index.modules[static_cast<std::size_t>(cand.file)].empty() &&
+        index.modules[static_cast<std::size_t>(cand.file)] ==
+            index.modules[static_cast<std::size_t>(s.file)]) {
+      rank = 1;
+    }
+    if (cand.file == s.file && s.body_begin <= cand.body_begin && cand.body_end <= s.body_end) {
+      rank = 2;
+    }
+    if (rank > best_rank) {
+      best_rank = rank;
+      fn = id;
+    }
+  }
+  if (fn < 0) return method_body(index, s, method);
+
+  const std::string& home_module = index.modules[static_cast<std::size_t>(s.file)];
+  std::string text;
+  std::set<int> visited;
+  std::deque<std::pair<int, int>> queue{{fn, 0}};  // (function id, depth)
+  while (!queue.empty()) {
+    const auto [cur, depth] = queue.front();
+    queue.pop_front();
+    if (!visited.insert(cur).second) continue;
+    const FunctionDef& f = index.functions[static_cast<std::size_t>(cur)];
+    text += function_body_with_strings(index, f);
+    text += '\n';
+    if (depth >= 2) continue;
+    for (const CallSite& call : graph.calls[static_cast<std::size_t>(cur)]) {
+      const FunctionDef& callee = index.functions[static_cast<std::size_t>(call.callee)];
+      const std::string& callee_module = index.modules[static_cast<std::size_t>(callee.file)];
+      if (callee.file == f.file || (!home_module.empty() && callee_module == home_module)) {
+        queue.emplace_back(call.callee, depth + 1);
+      }
+    }
+  }
+  if (text.empty()) return method_body(index, s, method);
+  return text;
+}
+
+void check_codec_parity(const SymbolIndex& index, const CallGraph& graph,
                         std::vector<Diagnostic>& out) {
-  for (const StructDef& s : structs) {
+  for (const StructDef& s : index.structs) {
     if (!s.has_to_json || !s.has_from_json) continue;
-    const auto writer = find_method_body(files, s, "to_json");
-    const auto reader = find_method_body(files, s, "from_json");
+    const auto writer = expanded_method_body(index, graph, s, "to_json");
+    const auto reader = expanded_method_body(index, graph, s, "from_json");
     if (!writer.has_value() || !reader.has_value()) {
       // Declarations without definitions anywhere in the scanned set: either
       // a scan over a partial tree (tests pass single fixtures) or a genuinely
@@ -810,7 +448,9 @@ void check_codec_parity(const std::vector<Prepared>& files, const std::vector<St
                        "struct '" + s.name + "' defines " +
                            (writer.has_value() ? "to_json" : "from_json") + " but no " +
                            (writer.has_value() ? "from_json" : "to_json") +
-                           " definition was found: the codec cannot round-trip"});
+                           " definition was found: the codec cannot round-trip",
+                       "",
+                       {}});
       }
       continue;
     }
@@ -829,16 +469,18 @@ void check_codec_parity(const std::vector<Prepared>& files, const std::vector<St
       out.push_back({std::string(s.where->file->path), f.line, std::string(kCodecParity),
                      "field '" + f.name + "' of '" + s.name + "' is not referenced by " +
                          missing +
-                         ": the JSON codec would silently drop it on round trip; wire it "
-                         "through both sides (or suppress with a rationale for derived "
-                         "fields rebuilt by the reader)"});
+                         " (helpers called by the codec were searched too): the JSON "
+                         "codec would silently drop it on round trip; wire it through "
+                         "both sides (or suppress with a rationale for derived fields "
+                         "rebuilt by the reader)",
+                     "",
+                     {}});
     }
   }
 }
 
-void check_phase_sum(const std::vector<Prepared>& files, const std::vector<StructDef>& structs,
-                     std::vector<Diagnostic>& out) {
-  for (const StructDef& s : structs) {
+void check_phase_sum(const SymbolIndex& index, std::vector<Diagnostic>& out) {
+  for (const StructDef& s : index.structs) {
     std::vector<const Field*> durations;
     for (const Field& f : s.fields) {
       if (contains_word(f.decl, "SimDuration")) durations.push_back(&f);
@@ -846,11 +488,13 @@ void check_phase_sum(const std::vector<Prepared>& files, const std::vector<Struc
     if (s.name == "QueryTiming" && !s.has_phase_sum && !durations.empty()) {
       out.push_back({std::string(s.where->file->path), s.line, std::string(kPhaseSum),
                      "struct 'QueryTiming' must define phase_sum() covering its "
-                     "SimDuration phase members (additive timing invariant)"});
+                     "SimDuration phase members (additive timing invariant)",
+                     "",
+                     {}});
       continue;
     }
     if (!s.has_phase_sum || durations.empty()) continue;
-    const auto body = find_method_body(files, s, "phase_sum");
+    const auto body = method_body(index, s, "phase_sum");
     if (!body.has_value()) continue;
     for (const Field* f : durations) {
       if (contains_word(*body, f->name)) continue;
@@ -858,7 +502,9 @@ void check_phase_sum(const std::vector<Prepared>& files, const std::vector<Struc
                      "SimDuration member '" + f->name + "' of '" + s.name +
                          "' is not included in phase_sum(): new phases must stay "
                          "additive (phase_sum() <= total); add it to the sum, or "
-                         "suppress with a rationale for aggregate members"});
+                         "suppress with a rationale for aggregate members",
+                     "",
+                     {}});
     }
   }
 }
@@ -877,7 +523,9 @@ void check_pragma_once(const Prepared& p, std::vector<Diagnostic>& out) {
   }
   out.push_back({std::string(p.file->path), 1, std::string(kPragmaOnce),
                  "header has neither #pragma once nor an include guard: double "
-                 "inclusion will produce redefinition errors"});
+                 "inclusion will produce redefinition errors",
+                 "",
+                 {}});
 }
 
 void check_using_namespace(const Prepared& p, std::vector<Diagnostic>& out) {
@@ -889,7 +537,9 @@ void check_using_namespace(const Prepared& p, std::vector<Diagnostic>& out) {
     if (word_at(code, next, "namespace")) {
       out.push_back({std::string(p.file->path), line_of(p, pos), std::string(kUsingNamespace),
                      "'using namespace' in a header injects the namespace into every "
-                     "translation unit that includes it; qualify names instead"});
+                     "translation unit that includes it; qualify names instead",
+                     "",
+                     {}});
     }
   }
 }
@@ -943,7 +593,9 @@ void check_nodiscard_result(const Prepared& p, std::vector<Diagnostic>& out) {
     if (name_end + 1 < code.size() && code[name_end] == ':' && code[name_end + 1] == ':') continue;
     out.push_back({std::string(p.file->path), line_of(p, pos), std::string(kNodiscardResult),
                    "function '" + fn + "' returns Result<...> without [[nodiscard]]: a "
-                   "caller that drops the return value silently loses the error"});
+                   "caller that drops the return value silently loses the error",
+                   "",
+                   {}});
   }
 }
 
@@ -962,7 +614,9 @@ void check_obs_span_balance(const Prepared& p, std::vector<Diagnostic>& out) {
          pos = find_word(code, word, pos + 1)) {
       out.push_back({std::string(p.file->path), line_of(p, pos), std::string(kObsSpanBalance),
                      "manual '" + std::string(word) + "' call: hand-paired spans leak on "
-                     "early return or exception; use the OBS_SPAN RAII macro"});
+                     "early return or exception; use the OBS_SPAN RAII macro",
+                     "",
+                     {}});
     }
   }
 }
@@ -998,7 +652,9 @@ void check_raw_thread(const Prepared& p, std::vector<Diagnostic>& out) {
       out.push_back({std::string(p.file->path), line_of(p, pos), std::string(kRawThread),
                      "raw 'std::" + std::string(word) + "' outside core/parallel_campaign.cc "
                      "and src/util: route parallel work through run_pipeline() so shards stay "
-                     "deterministic and errors join cleanly"});
+                     "deterministic and errors join cleanly",
+                     "",
+                     {}});
     }
   }
 }
@@ -1012,30 +668,47 @@ void check_raw_thread(const Prepared& p, std::vector<Diagnostic>& out) {
 const std::vector<RuleInfo>& rules() { return kRules; }
 
 std::vector<Diagnostic> run_lint(const std::vector<SourceFile>& files) {
-  std::vector<Prepared> prepared;
-  prepared.reserve(files.size());
-  for (const SourceFile& f : files) prepared.push_back(prepare(f));
+  return run_lint(files, Options{});
+}
+
+std::vector<Diagnostic> run_lint(const std::vector<SourceFile>& files, const Options& options) {
+  // Pass 1: the symbol index (blanked text, suppressions, structs, functions,
+  // includes, module ownership).
+  const SymbolIndex index = build_index(files);
+
+  // Pass 2: the approximate call graph.
+  const CallGraph graph = build_call_graph(index);
 
   // Cross-file harvest for the unordered-iteration rule.
   std::set<std::string> unordered_members;
   std::set<std::string> unordered_aliases;
-  std::vector<std::set<std::string>> unordered_locals(prepared.size());
-  for (std::size_t i = 0; i < prepared.size(); ++i) {
-    harvest_unordered_names(prepared[i], unordered_members, unordered_locals[i],
+  std::vector<std::set<std::string>> unordered_locals(index.files.size());
+  for (std::size_t i = 0; i < index.files.size(); ++i) {
+    harvest_unordered_names(index.files[i], unordered_members, unordered_locals[i],
                             unordered_aliases);
   }
-  for (std::size_t i = 0; i < prepared.size(); ++i) {
-    harvest_alias_decls(prepared[i], unordered_aliases, unordered_members, unordered_locals[i]);
+  for (std::size_t i = 0; i < index.files.size(); ++i) {
+    harvest_alias_decls(index.files[i], unordered_aliases, unordered_members,
+                        unordered_locals[i]);
   }
 
-  const std::vector<StructDef> structs = collect_structs(prepared);
-
+  // Pass 3: the rules.
   std::vector<Diagnostic> diags;
-  for (std::size_t i = 0; i < prepared.size(); ++i) {
-    const Prepared& p = prepared[i];
+  std::vector<TaintSource> unordered_taint;
+  for (std::size_t i = 0; i < index.files.size(); ++i) {
+    const Prepared& p = index.files[i];
     std::set<std::string> names = unordered_members;
     names.insert(unordered_locals[i].begin(), unordered_locals[i].end());
-    check_unordered_iteration(p, names, diags);
+    const std::vector<UnorderedSite> sites = collect_unordered_sites(p, names);
+    check_unordered_iteration(p, sites, diags);
+    for (const UnorderedSite& s : sites) {
+      const int line = line_of(p, s.pos);
+      if (is_allowed(p, line, kTaint) || is_allowed(p, line, kUnorderedIter)) continue;
+      unordered_taint.push_back(TaintSource{static_cast<int>(i), s.pos, line,
+                                            s.what + " over unordered container '" + s.name +
+                                                "'",
+                                            std::string(kUnorderedIter)});
+    }
     check_wallclock(p, diags);
     check_pointer_keys(p, diags);
     check_pragma_once(p, diags);
@@ -1044,14 +717,27 @@ std::vector<Diagnostic> run_lint(const std::vector<SourceFile>& files) {
     check_obs_span_balance(p, diags);
     check_raw_thread(p, diags);
   }
-  check_codec_parity(prepared, structs, diags);
-  check_phase_sum(prepared, structs, diags);
+  check_codec_parity(index, graph, diags);
+  check_phase_sum(index, diags);
+  check_determinism_taint(index, graph, unordered_taint, diags);
+  check_include_cycles(index, diags);
+  if (!options.layers_text.empty()) {
+    LayerConfig config;
+    std::string error;
+    if (!LayerConfig::parse(options.layers_text, &config, &error)) {
+      // A broken config is itself a finding — the tree cannot claim
+      // conformance to a DAG that does not parse or is not a DAG.
+      diags.push_back({"tools/lint/layers.conf", 1, std::string(kLayering), error, "", {}});
+    } else {
+      check_layering(index, config, diags);
+    }
+  }
 
   // Apply suppressions, then sort and dedupe for stable output.
   std::vector<Diagnostic> out;
   for (Diagnostic& d : diags) {
     const Prepared* p = nullptr;
-    for (const Prepared& cand : prepared) {
+    for (const Prepared& cand : index.files) {
       if (cand.file->path == d.path) {
         p = &cand;
         break;
@@ -1095,6 +781,45 @@ std::vector<SourceFile> load_tree(const std::vector<std::string>& roots) {
 
 std::string format(const Diagnostic& d) {
   return d.path + ":" + std::to_string(d.line) + ": error: [" + d.rule + "] " + d.message;
+}
+
+namespace {
+
+std::string json_str(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string format_json(const std::vector<Diagnostic>& diags) {
+  std::string out = "{\"findings\": [";
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"rule\": " + json_str(d.rule) + ", \"path\": " + json_str(d.path) +
+           ", \"line\": " + std::to_string(d.line) + ", \"key\": " + json_str(d.key) +
+           ", \"trace\": [";
+    for (std::size_t i = 0; i < d.trace.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += json_str(d.trace[i]);
+    }
+    out += "], \"message\": " + json_str(d.message) + "}";
+  }
+  out += diags.empty() ? "]}\n" : "\n]}\n";
+  return out;
 }
 
 }  // namespace ednsm::lint
