@@ -66,10 +66,25 @@ void run_pipeline(const MeasurementSpec& spec, const std::vector<ShardPlan>& pla
   const std::size_t workers =
       std::min<std::size_t>(plans.size(), static_cast<std::size_t>(std::max(threads, 1)));
 
+  // Runtime telemetry is observation-only: every hook below is a null check
+  // plus relaxed atomics, and nothing it records feeds back into plan order,
+  // ring behavior, or outcomes — outputs stay byte-identical with it on/off.
+  obs::RuntimeTelemetry* const rt = obs_options.runtime;
+  obs::HeartbeatWriter* const hb = obs_options.heartbeat;
+
   if (workers <= 1) {
     // Degenerate pipeline: all stages run inline on the calling thread, in
-    // plan order — no rings, no pool overhead, same outcomes.
-    for (const ShardPlan& plan : plans) sink(run_shard(spec, plan, obs_options));
+    // plan order — no rings, no pool overhead, same outcomes. Ring counters
+    // stay zero (there are no rings); plan/sink progress is still reported.
+    for (const ShardPlan& plan : plans) {
+      const std::uint64_t t0 = rt != nullptr ? rt->clock_now_ns() : 0;
+      ShardOutcome outcome = run_shard(spec, plan, obs_options);
+      const std::uint64_t t1 = rt != nullptr ? rt->clock_now_ns() : 0;
+      if (rt != nullptr) rt->note_plan_done(t1 - t0);
+      sink(std::move(outcome));
+      if (rt != nullptr) rt->note_sink_items(1, rt->clock_now_ns() - t1);
+      if (hb != nullptr) hb->write_update();
+    }
     return;
   }
 
@@ -87,6 +102,14 @@ void run_pipeline(const MeasurementSpec& spec, const std::vector<ShardPlan>& pla
   for (std::size_t w = 0; w < workers; ++w) {
     task_rings.push_back(std::make_unique<util::SpscRing<ShardPlan>>(kTaskRingCapacity));
     outcome_rings.push_back(std::make_unique<util::SpscRing<OutcomePtr>>(kOutcomeRingCapacity));
+  }
+  if (rt != nullptr) {
+    // One stat sink per ring, attached before any pipeline thread starts.
+    rt->configure_workers(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      task_rings[w]->attach_stats(rt->task_ring_stats(w));
+      outcome_rings[w]->attach_stats(rt->outcome_ring_stats(w));
+    }
   }
 
   std::mutex error_mutex;
@@ -116,7 +139,9 @@ void run_pipeline(const MeasurementSpec& spec, const std::vector<ShardPlan>& pla
       ShardPlan plan;
       while (task_rings[w]->pop(plan)) {
         try {
+          const std::uint64_t t0 = rt != nullptr ? rt->clock_now_ns() : 0;
           auto outcome = std::make_unique<ShardOutcome>(run_shard(spec, plan, obs_options));
+          if (rt != nullptr) rt->note_plan_done(rt->clock_now_ns() - t0);
           outcome_rings[w]->push(std::move(outcome));
         } catch (...) {
           record_error();
@@ -142,7 +167,9 @@ void run_pipeline(const MeasurementSpec& spec, const std::vector<ShardPlan>& pla
         progressed = true;
         if (!sink_error) {
           try {
+            const std::uint64_t t0 = rt != nullptr ? rt->clock_now_ns() : 0;
             sink(std::move(*outcome));
+            if (rt != nullptr) rt->note_sink_items(1, rt->clock_now_ns() - t0);
           } catch (...) {
             sink_error = std::current_exception();
           }
@@ -151,7 +178,14 @@ void run_pipeline(const MeasurementSpec& spec, const std::vector<ShardPlan>& pla
       }
       if (!ring->closed() || !ring->empty()) ++open_rings;
     }
-    if (!progressed && open_rings > 0) std::this_thread::yield();
+    // Heartbeats are pumped whether or not outcomes arrived this pass, so a
+    // stalled pipeline still reports (stale progress + fresh timestamp is
+    // exactly the wedged-worker signal ednsm_watch surfaces).
+    if (hb != nullptr) hb->write_update();
+    if (!progressed && open_rings > 0) {
+      if (rt != nullptr) rt->note_collector_idle_spin();
+      std::this_thread::yield();
+    }
   }
 
   expansion.join();
@@ -171,10 +205,16 @@ CampaignResult run_parallel_campaign(const MeasurementSpec& spec, int threads,
     throw std::invalid_argument("run_parallel_campaign: invalid spec: " + v.error());
   }
 
-  // Observability is only collected when there is somewhere to put it, so
-  // the plain overload keeps its exact legacy behavior (and cost).
+  // Sim-domain observability (trace/metrics) is only collected when there is
+  // somewhere to put it, so the plain overload keeps its exact legacy
+  // behavior (and cost). Runtime telemetry is independent of that: it has its
+  // own sink (the RuntimeTelemetry hub) and survives the reset.
   CampaignObsOptions obs = obs_options;
-  if (obs_out == nullptr) obs = CampaignObsOptions{};
+  if (obs_out == nullptr) {
+    obs = CampaignObsOptions{};
+    obs.runtime = obs_options.runtime;
+    obs.heartbeat = obs_options.heartbeat;
+  }
 
   const std::vector<ShardPlan> plans = expand_spec(spec);
   ShardCollector collector(spec, plans.size(), obs);

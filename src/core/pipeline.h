@@ -22,6 +22,7 @@
 
 #include "core/campaign.h"
 #include "obs/metrics.h"
+#include "obs/runtime.h"
 #include "obs/trace.h"
 
 namespace ednsm::core {
@@ -32,6 +33,16 @@ struct CampaignObsOptions {
   bool trace = false;  // enable each shard world's Tracer
   std::size_t trace_capacity = obs::Tracer::kDefaultCapacity;  // ring slots/shard
   bool metrics = false;  // collect sim + result counters/distributions
+  // Wall-clock runtime telemetry hub (progress heartbeats, run manifests);
+  // nullptr = off. Unlike trace/metrics this lives in the *other* clock
+  // domain — it observes the pipeline machinery, never the simulation — so
+  // enabling it cannot change any deterministic output (see DESIGN.md
+  // "Runtime telemetry and clock domains").
+  obs::RuntimeTelemetry* runtime = nullptr;
+  // Periodic progress-file writer, pumped from the collector stage (the
+  // pipeline owns the only thread that sees steady forward progress, so the
+  // tool cannot pump it itself). Rate-limited internally; nullptr = off.
+  obs::HeartbeatWriter* heartbeat = nullptr;
 };
 
 // Where the observations land. Shard traces are appended in spec vantage

@@ -1,10 +1,12 @@
 #include "monitor/prom.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <map>
 #include <sstream>
 #include <tuple>
+#include <utility>
 
 namespace ednsm::monitor {
 
@@ -116,6 +118,72 @@ std::string to_prometheus(const obs::TimeSeries& series) {
       os << name << "_sum" << labels_of(p) << ' '
          << fmt_double(c.welford.mean() * static_cast<double>(c.welford.count())) << '\n';
       os << name << "_count" << labels_of(p) << ' ' << c.welford.count() << '\n';
+    }
+  }
+  return std::move(os).str();
+}
+
+std::string to_prometheus(const std::vector<obs::RuntimeHeartbeat>& fleet) {
+  // Shards emit in (k, n) order so output is deterministic regardless of the
+  // order heartbeat files were read.
+  std::vector<const obs::RuntimeHeartbeat*> ordered;
+  ordered.reserve(fleet.size());
+  for (const obs::RuntimeHeartbeat& h : fleet) ordered.push_back(&h);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const obs::RuntimeHeartbeat* a, const obs::RuntimeHeartbeat* b) {
+              return std::tie(a->shard_n, a->shard_k) < std::tie(b->shard_n, b->shard_k);
+            });
+
+  auto shard_label = [](const obs::RuntimeHeartbeat& h) {
+    return "{shard=\"" + std::to_string(h.shard_k) + "/" + std::to_string(h.shard_n) + "\"}";
+  };
+
+  std::ostringstream os;
+  struct GaugeRow {
+    const char* name;
+    double (*value)(const obs::RuntimeHeartbeat&);
+  };
+  const GaugeRow gauges[] = {
+      {"runtime_completion", [](const obs::RuntimeHeartbeat& h) { return h.completion; }},
+      {"runtime_plans_total",
+       [](const obs::RuntimeHeartbeat& h) { return static_cast<double>(h.plans_total); }},
+      {"runtime_plans_done",
+       [](const obs::RuntimeHeartbeat& h) { return static_cast<double>(h.plans_done); }},
+      {"runtime_plans_per_sec", [](const obs::RuntimeHeartbeat& h) { return h.plans_per_sec; }},
+      {"runtime_eta_ms", [](const obs::RuntimeHeartbeat& h) { return h.eta_ms; }},
+      {"runtime_elapsed_ms", [](const obs::RuntimeHeartbeat& h) { return h.elapsed_ms; }},
+      {"runtime_collector_lag",
+       [](const obs::RuntimeHeartbeat& h) { return static_cast<double>(h.collector_lag); }},
+      {"runtime_records",
+       [](const obs::RuntimeHeartbeat& h) { return static_cast<double>(h.records); }},
+      {"runtime_bytes_encoded",
+       [](const obs::RuntimeHeartbeat& h) { return static_cast<double>(h.bytes_encoded); }},
+  };
+  for (const GaugeRow& g : gauges) {
+    const std::string name = sanitize(g.name);
+    os << "# TYPE " << name << " gauge\n";
+    for (const obs::RuntimeHeartbeat* h : ordered) {
+      os << name << shard_label(*h) << ' ' << fmt_double(g.value(*h)) << '\n';
+    }
+  }
+
+  const std::pair<const char*, std::uint64_t obs::RuntimeStageSnapshot::*> stage_fields[] = {
+      {"runtime_stage_items_in", &obs::RuntimeStageSnapshot::items_in},
+      {"runtime_stage_items_out", &obs::RuntimeStageSnapshot::items_out},
+      {"runtime_stage_stall_spins", &obs::RuntimeStageSnapshot::stall_spins},
+      {"runtime_stage_stall_ns", &obs::RuntimeStageSnapshot::stall_ns},
+      {"runtime_stage_busy_ns", &obs::RuntimeStageSnapshot::busy_ns},
+      {"runtime_stage_max_queue_depth", &obs::RuntimeStageSnapshot::max_queue_depth},
+  };
+  for (const auto& [raw_name, field] : stage_fields) {
+    const std::string name = sanitize(raw_name);
+    os << "# TYPE " << name << " gauge\n";
+    for (const obs::RuntimeHeartbeat* h : ordered) {
+      for (const obs::RuntimeStageSnapshot& s : h->stages) {
+        os << name << "{shard=\"" << h->shard_k << "/" << h->shard_n << "\",stage=\""
+           << label_escape(s.stage) << "\"} " << fmt_double(static_cast<double>(s.*field))
+           << '\n';
+      }
     }
   }
   return std::move(os).str();

@@ -9,11 +9,21 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "obs/runtime.h"
 #include "obs/timeseries.h"
 
 namespace ednsm::monitor {
 
 [[nodiscard]] std::string to_prometheus(const obs::TimeSeries& series);
+
+// Runtime-telemetry exposition: per-shard progress/throughput gauges and
+// per-stage pipeline counters from a fleet of heartbeat snapshots (one per
+// `--progress-file`; `ednsm_watch --prom` serves this). Labels: shard="k/n"
+// plus stage=... on the per-stage series. This is the sanctioned wall-clock
+// -> exporter path; the obs-domain-separation lint rule allows to_prometheus
+// as a telemetry sink precisely so runtime gauges can be scraped.
+[[nodiscard]] std::string to_prometheus(const std::vector<obs::RuntimeHeartbeat>& fleet);
 
 }  // namespace ednsm::monitor

@@ -1,0 +1,46 @@
+// Optional instrumentation sink for SpscRing — the util-layer half of the
+// runtime telemetry split (see src/obs/runtime.h for the aggregation half and
+// DESIGN.md "Runtime telemetry and clock domains").
+//
+// util sits at the bottom of the module DAG and must not depend on obs, so
+// the ring exposes only a plain bag of relaxed atomic counters that either
+// side of the ring bumps when a sink is attached. Wall time never enters
+// util: stall *durations* are measured only when the owner injects a
+// monotonic-clock reader (`now_ns`, typically obs::runtime_now_ns), so the
+// header stays clock-free and the deterministic simulation cannot observe
+// any of it.
+//
+// Counters are advisory telemetry, not synchronization: every access is
+// memory_order_relaxed, values are monotone (except max_occupancy, which
+// only its producer updates), and a ring with no sink attached pays exactly
+// one null-pointer check per operation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ednsm::util {
+
+struct RingStatSink {
+  // Successful handoffs (one per item through the ring).
+  std::atomic<std::uint64_t> pushes{0};
+  std::atomic<std::uint64_t> pops{0};
+  // Yield spins inside the blocking push()/pop() loops: the producer found
+  // the ring full / the consumer found it empty-but-open.
+  std::atomic<std::uint64_t> push_stall_spins{0};
+  std::atomic<std::uint64_t> pop_stall_spins{0};
+  // Wall nanoseconds spent inside those blocking loops. Accumulated only when
+  // `now_ns` is set; zero otherwise.
+  std::atomic<std::uint64_t> push_stall_ns{0};
+  std::atomic<std::uint64_t> pop_stall_ns{0};
+  // High-water occupancy, updated by the producer after each push (the
+  // producer is the only writer, so a relaxed read-modify-write is safe
+  // under the SPSC contract).
+  std::atomic<std::uint64_t> max_occupancy{0};
+
+  // Monotonic-clock reader injected by the telemetry layer; nullptr keeps
+  // this header (and the ring) entirely clock-free.
+  std::uint64_t (*now_ns)() = nullptr;
+};
+
+}  // namespace ednsm::util

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/ring_stats.h"
+
 namespace ednsm::util {
 
 template <typename T>
@@ -42,20 +44,46 @@ class SpscRing {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+  // Attach an optional telemetry sink (see util/ring_stats.h). Call before
+  // the producer/consumer threads start; a ring with no sink pays one null
+  // check per operation and nothing else.
+  void attach_stats(RingStatSink* sink) noexcept { stats_ = sink; }
+
   // Producer side ------------------------------------------------------------
 
   // Moves `v` into the ring; false when full (v is left untouched).
   [[nodiscard]] bool try_push(T& v) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) return false;
+    const std::uint64_t occupancy = tail - head_.load(std::memory_order_acquire);
+    if (occupancy >= slots_.size()) return false;
     slots_[tail & mask_] = std::move(v);
     tail_.store(tail + 1, std::memory_order_release);
+    if (stats_ != nullptr) {
+      stats_->pushes.fetch_add(1, std::memory_order_relaxed);
+      // Producer-only high-water mark (relaxed RMW is safe: one writer).
+      if (occupancy + 1 > stats_->max_occupancy.load(std::memory_order_relaxed)) {
+        stats_->max_occupancy.store(occupancy + 1, std::memory_order_relaxed);
+      }
+    }
     return true;
   }
 
   // Blocking push: spins (with yields) until a slot frees up.
   void push(T v) {
-    while (!try_push(v)) std::this_thread::yield();
+    if (try_push(v)) return;
+    const std::uint64_t stall_start = stall_clock_ns();
+    std::uint64_t spins = 0;
+    do {
+      ++spins;
+      std::this_thread::yield();
+    } while (!try_push(v));
+    if (stats_ != nullptr) {
+      stats_->push_stall_spins.fetch_add(spins, std::memory_order_relaxed);
+      if (stats_->now_ns != nullptr) {
+        stats_->push_stall_ns.fetch_add(stats_->now_ns() - stall_start,
+                                        std::memory_order_relaxed);
+      }
+    }
   }
 
   // Marks the stream complete: the consumer drains remaining items and then
@@ -71,6 +99,7 @@ class SpscRing {
     if (head == tail_.load(std::memory_order_acquire)) return false;
     out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
+    if (stats_ != nullptr) stats_->pops.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -78,14 +107,23 @@ class SpscRing {
   // fully drained. The close() check runs only after a failed pop so items
   // pushed before close() are never lost.
   [[nodiscard]] bool pop(T& out) {
+    if (try_pop(out)) return true;
+    const std::uint64_t stall_start = stall_clock_ns();
+    std::uint64_t spins = 0;
     for (;;) {
-      if (try_pop(out)) return true;
       if (closed_.load(std::memory_order_acquire)) {
         // Re-check: the producer may have pushed between our pop and its
         // close; acquire on closed_ orders that push before this pop.
-        return try_pop(out);
+        const bool got = try_pop(out);
+        record_pop_stall(spins, stall_start);
+        return got;
       }
+      ++spins;
       std::this_thread::yield();
+      if (try_pop(out)) {
+        record_pop_stall(spins, stall_start);
+        return true;
+      }
     }
   }
 
@@ -99,8 +137,24 @@ class SpscRing {
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
  private:
+  // Reads the injected stall clock, or 0 when timing is off (no sink, or a
+  // sink without a clock — counters still accumulate, durations stay 0).
+  [[nodiscard]] std::uint64_t stall_clock_ns() const {
+    return (stats_ != nullptr && stats_->now_ns != nullptr) ? stats_->now_ns() : 0;
+  }
+
+  void record_pop_stall(std::uint64_t spins, std::uint64_t stall_start) {
+    if (stats_ == nullptr || spins == 0) return;
+    stats_->pop_stall_spins.fetch_add(spins, std::memory_order_relaxed);
+    if (stats_->now_ns != nullptr) {
+      stats_->pop_stall_ns.fetch_add(stats_->now_ns() - stall_start,
+                                     std::memory_order_relaxed);
+    }
+  }
+
   std::vector<T> slots_;
   std::size_t mask_ = 0;
+  RingStatSink* stats_ = nullptr;
   alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
   alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
   std::atomic<bool> closed_{false};

@@ -1,0 +1,13 @@
+// obs-domain-separation fixture, half 2: a deterministic serialization sink
+// outside the runtime domain that calls into it. Linted under the synthetic
+// path src/core/debug_dump.cc together with obs_domain_runtime.cc; the call
+// edge write_jsonl -> runtime_probe_elapsed_ns crosses the clock-domain
+// boundary and must be flagged at the sink's definition.
+namespace ednsm::core {
+
+double write_jsonl(int rows) {
+  return static_cast<double>(rows) +
+         static_cast<double>(ednsm::obs::runtime_probe_elapsed_ns());
+}
+
+}  // namespace ednsm::core

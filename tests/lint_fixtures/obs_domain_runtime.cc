@@ -1,0 +1,9 @@
+// obs-domain-separation fixture, half 1: a function defined in the runtime
+// telemetry domain. Linted under the synthetic path src/obs/runtime_probe.cc
+// (the rule keys on "obs/runtime" in the path), together with
+// obs_domain_bad.cc / obs_domain_allowed.cc as the out-of-domain caller.
+namespace ednsm::obs {
+
+unsigned long long runtime_probe_elapsed_ns() { return 42; }
+
+}  // namespace ednsm::obs

@@ -177,6 +177,44 @@ TEST(LintFixtures, RawThreadExemptInsideEngineAndUtil) {
   }
 }
 
+// obs-domain-separation needs both halves linted together under synthetic
+// paths: the source's path must contain "obs/runtime" and the sink must live
+// outside it. The diagnostic lands at the sink's definition.
+std::vector<Diagnostic> lint_obs_domain_pair(const std::string& sink_fixture) {
+  return ednsm::lint::run_lint(
+      {SourceFile{"src/obs/runtime_probe.cc",
+                  read_file(std::string(EDNSM_LINT_FIXTURE_DIR) + "/obs_domain_runtime.cc")},
+       SourceFile{"src/core/debug_dump.cc",
+                  read_file(std::string(EDNSM_LINT_FIXTURE_DIR) + "/" + sink_fixture)}});
+}
+
+TEST(LintFixtures, ObsDomainSeparationBad) {
+  const auto diags = lint_obs_domain_pair("obs_domain_bad.cc");
+  EXPECT_EQ(rule_ids(diags), (std::multiset<std::string>{"obs-domain-separation"}))
+      << dump(diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].path, "src/core/debug_dump.cc");
+  EXPECT_NE(diags[0].message.find("runtime_probe_elapsed_ns"), std::string::npos)
+      << diags[0].message;
+  EXPECT_NE(diags[0].message.find("write_jsonl"), std::string::npos) << diags[0].message;
+}
+
+TEST(LintFixtures, ObsDomainSeparationSuppressed) {
+  const auto diags = lint_obs_domain_pair("obs_domain_allowed.cc");
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+// The runtime domain serializing *itself* (heartbeat/manifest codecs) is not
+// a violation — the boundary only polices flow into deterministic sinks.
+TEST(LintFixtures, ObsDomainSinkInsideDomainIsClean) {
+  const auto diags = ednsm::lint::run_lint(
+      {SourceFile{"src/obs/runtime_probe.cc",
+                  read_file(std::string(EDNSM_LINT_FIXTURE_DIR) + "/obs_domain_runtime.cc")},
+       SourceFile{"src/obs/runtime_dump.cc",
+                  read_file(std::string(EDNSM_LINT_FIXTURE_DIR) + "/obs_domain_bad.cc")}});
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
 // Every advertised rule ID is exercised by at least one bad fixture. Most
 // fixtures lint standalone; the architectural rules need a little staging —
 // layering wants a src/<module>/ path plus a layers config, and the include
@@ -209,6 +247,12 @@ TEST(LintFixtures, EveryRuleCovered) {
     cycle.push_back(SourceFile{name, read_file(std::string(EDNSM_LINT_FIXTURE_DIR) + "/" + name)});
   }
   for (const Diagnostic& d : ednsm::lint::run_lint(cycle)) triggered.insert(d.rule);
+
+  // obs-domain-separation: needs the runtime-domain source and the
+  // out-of-domain sink linted together under synthetic paths.
+  for (const Diagnostic& d : lint_obs_domain_pair("obs_domain_bad.cc")) {
+    triggered.insert(d.rule);
+  }
 
   for (const ednsm::lint::RuleInfo& r : ednsm::lint::rules()) {
     EXPECT_EQ(triggered.count(std::string(r.id)), 1u)
@@ -356,6 +400,32 @@ TEST(LintTree, RawThreadOutsideEngineFails) {
   const auto diags = ednsm::lint::run_lint(files);
   const bool found = std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
     return d.rule == "concurrency-raw-thread" && d.path.ends_with("core/campaign.cc");
+  });
+  EXPECT_TRUE(found) << dump(diags);
+}
+
+// Leaking runtime telemetry into the deterministic output contract — a
+// to_json in core that calls a runtime-domain codec — must trip
+// obs-domain-separation. This is the acceptance mutation for the clock-domain
+// boundary staying machine-enforced.
+TEST(LintTree, RuntimeTelemetryIntoDeterministicSinkFails) {
+  auto files = load_repo_tree();
+  bool mutated = false;
+  for (SourceFile& f : files) {
+    if (!f.path.ends_with("core/pipeline.cc")) continue;
+    f.content +=
+        "\nnamespace ednsm::core {\n"
+        "util::Json to_json(const obs::RuntimeHeartbeat& hb) {\n"
+        "  return hb.heartbeat_json();\n"
+        "}\n"
+        "}  // namespace ednsm::core\n";
+    mutated = true;
+  }
+  ASSERT_TRUE(mutated);
+  const auto diags = ednsm::lint::run_lint(files);
+  const bool found = std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.rule == "obs-domain-separation" && d.path.ends_with("core/pipeline.cc") &&
+           d.message.find("heartbeat_json") != std::string::npos;
   });
   EXPECT_TRUE(found) << dump(diags);
 }

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <numeric>
@@ -99,6 +101,145 @@ TEST(SpscRing, ThreadedProducerConsumer) {
 
   ASSERT_EQ(received.size(), kItems);
   for (std::uint64_t i = 0; i < kItems; ++i) ASSERT_EQ(received[i], i);
+}
+
+// --- Stat-hook tests (util/ring_stats.h) -----------------------------------
+
+// Deterministic fake clock for stall-duration accounting: each read advances
+// by a fixed step, so durations are exact and test-reproducible.
+std::uint64_t fake_now_ns() {
+  static std::atomic<std::uint64_t> ticks{0};
+  return ticks.fetch_add(1, std::memory_order_relaxed) * 100;
+}
+
+TEST(SpscRingStats, SingleThreadExactCounters) {
+  SpscRing<int> ring(4);
+  RingStatSink sink;
+  ring.attach_stats(&sink);
+
+  // 4 pushes fill the ring; try_push on full fails and must not count.
+  for (int i = 0; i < 4; ++i) ring.push(i);
+  int rejected = 99;
+  EXPECT_FALSE(ring.try_push(rejected));
+  EXPECT_EQ(sink.pushes.load(), 4u);
+  EXPECT_EQ(sink.max_occupancy.load(), 4u);
+
+  // 2 pops, then a failed try_pop after draining 2 more.
+  int out = -1;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(sink.pops.load(), 2u);
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(sink.pops.load(), 4u);
+
+  // No blocking happened: stall counters stay zero.
+  EXPECT_EQ(sink.push_stall_spins.load(), 0u);
+  EXPECT_EQ(sink.pop_stall_spins.load(), 0u);
+  EXPECT_EQ(sink.push_stall_ns.load(), 0u);
+  EXPECT_EQ(sink.pop_stall_ns.load(), 0u);
+
+  // Refill to 2: the high-water mark from the first fill stays at 4.
+  ring.push(5);
+  ring.push(6);
+  EXPECT_EQ(sink.pushes.load(), 6u);
+  EXPECT_EQ(sink.max_occupancy.load(), 4u);
+}
+
+TEST(SpscRingStats, NoSinkMeansNoCrashAndNoCounting) {
+  SpscRing<int> ring(2);  // never attached
+  ring.push(1);
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+}
+
+// A guaranteed push stall: fill the ring, block the producer in push(), then
+// drain from the main thread. Spin counts are timing-dependent, so assert
+// monotone (> 0), not exact; durations use the fake clock so they are > 0
+// whenever spins are.
+TEST(SpscRingStats, BlockedPushRecordsStall) {
+  SpscRing<int> ring(2);
+  RingStatSink sink;
+  sink.now_ns = &fake_now_ns;
+  ring.attach_stats(&sink);
+
+  ring.push(0);
+  ring.push(1);
+  // Stall spins are published only after the blocking push returns, so the
+  // main thread can't gate on them; a started-flag handshake plus a generous
+  // sleep makes "producer reached push() before the pop" all but certain.
+  std::atomic<bool> producer_started{false};
+  std::thread producer([&] {
+    producer_started.store(true);
+    ring.push(2);  // must stall: ring full
+  });
+  while (!producer_started.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int out = -1;
+  ASSERT_TRUE(ring.try_pop(out));
+  producer.join();
+
+  EXPECT_GT(sink.push_stall_spins.load(), 0u);
+  EXPECT_GT(sink.push_stall_ns.load(), 0u);
+  EXPECT_EQ(sink.pushes.load(), 3u);
+}
+
+// A pop stall: the consumer blocks on an empty-but-open ring until the
+// producer pushes. Stall spins are recorded only after the blocking pop
+// returns, so the producer can't gate on them; a started-flag handshake plus
+// a generous sleep makes "consumer reached pop() before the push" all but
+// certain without busy-waiting on anything the consumer publishes.
+TEST(SpscRingStats, BlockedPopRecordsStall) {
+  SpscRing<int> ring(2);
+  RingStatSink sink;
+  sink.now_ns = &fake_now_ns;
+  ring.attach_stats(&sink);
+
+  std::atomic<bool> consumer_started{false};
+  int out = -1;
+  bool got = false;
+  std::thread consumer([&] {
+    consumer_started.store(true);
+    got = ring.pop(out);
+  });
+  while (!consumer_started.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.push(7);
+  ring.close();
+  consumer.join();
+
+  ASSERT_TRUE(got);
+  EXPECT_EQ(out, 7);
+  EXPECT_GT(sink.pop_stall_spins.load(), 0u);
+  EXPECT_GT(sink.pop_stall_ns.load(), 0u);
+  EXPECT_EQ(sink.pops.load(), 1u);
+}
+
+// The TSan CI job replays this: full producer/consumer pair with stats
+// attached and the fake clock injected. Counters must balance exactly.
+TEST(SpscRingStats, ThreadedCountersBalance) {
+  constexpr std::uint64_t kItems = 50000;
+  SpscRing<std::uint64_t> ring(8);  // small ring: force real contention
+  RingStatSink sink;
+  sink.now_ns = &fake_now_ns;
+  ring.attach_stats(&sink);
+
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kItems; ++i) ring.push(i);
+    ring.close();
+  });
+  std::uint64_t v = 0;
+  std::uint64_t received = 0;
+  while (ring.pop(v)) ++received;
+  producer.join();
+
+  EXPECT_EQ(received, kItems);
+  EXPECT_EQ(sink.pushes.load(), kItems);
+  EXPECT_EQ(sink.pops.load(), kItems);
+  EXPECT_GE(sink.max_occupancy.load(), 1u);
+  EXPECT_LE(sink.max_occupancy.load(), ring.capacity());
 }
 
 }  // namespace

@@ -45,6 +45,7 @@
 #include "lint/lint.h"
 #include "monitor/monitor.h"
 #include "obs/profile.h"
+#include "obs/runtime.h"
 #include "resolver/registry.h"
 #include "stats/quantile.h"
 #include "util/spsc_ring.h"
@@ -302,6 +303,36 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Telemetry-on variant of the same loop: a RingStatSink attached with the
+    // real monotonic clock, exactly what --progress-file arms on the pipeline
+    // rings. The delta against the plain lane is the per-handoff telemetry
+    // cost (telemetry_overhead_pct; BM_RuntimeTelemetryOverhead is the
+    // google-benchmark twin). Wall-time only — the checksum must match the
+    // plain lane, re-asserting that telemetry never changes the data path.
+    double ring_telemetry_wall_ms = 0.0;
+    std::uint64_t telemetry_checksum = 0;
+    std::uint64_t telemetry_pushes = 0;
+    {
+      const auto scope = profiler.scope("ring-telemetry");
+      for (int run = 0; run < repeat; ++run) {
+        util::SpscRing<std::uint64_t> ring(1024);
+        util::RingStatSink sink;
+        sink.now_ns = &obs::runtime_now_ns;
+        ring.attach_stats(&sink);
+        const auto start = WallClock::now();
+        std::uint64_t sum = 0;
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < kRingOps; ++i) {
+          ring.push(i);
+          if (ring.try_pop(v)) sum += v;
+        }
+        const double wall_ms = elapsed_ms(start);
+        telemetry_checksum = sum;
+        telemetry_pushes = sink.pushes.load();
+        if (run == 0 || wall_ms < ring_telemetry_wall_ms) ring_telemetry_wall_ms = wall_ms;
+      }
+    }
+
     // Minimal pipeline campaign: one vantage, a handful of resolvers — the
     // fixed per-campaign overhead (world build, expansion, collection).
     core::MeasurementSpec spec;
@@ -357,6 +388,18 @@ int main(int argc, char** argv) {
     o["ring_checksum"] = core::Json(static_cast<double>(checksum));
     o["ring_ops_per_sec"] = core::Json(
         ring_wall_ms > 0.0 ? static_cast<double>(kRingOps) / (ring_wall_ms / 1000.0) : 0.0);
+    // Wall-clock telemetry lane: outside the perf gate's deterministic field
+    // set (like lint_wall_ms), tracked for trend only.
+    o["ring_telemetry_ops_per_sec"] = core::Json(
+        ring_telemetry_wall_ms > 0.0
+            ? static_cast<double>(kRingOps) / (ring_telemetry_wall_ms / 1000.0)
+            : 0.0);
+    o["telemetry_overhead_pct"] = core::Json(
+        ring_wall_ms > 0.0
+            ? (ring_telemetry_wall_ms - ring_wall_ms) / ring_wall_ms * 100.0
+            : 0.0);
+    o["telemetry_checksum_identical"] =
+        core::Json(telemetry_checksum == checksum && telemetry_pushes == kRingOps);
     o["records"] = core::Json(static_cast<double>(result.records.size()));
     o["pings"] = core::Json(static_cast<double>(result.pings.size()));
     o["error_rate"] = core::Json(result.availability.overall().error_rate());

@@ -13,6 +13,7 @@
 //   ednsm_measure ... --trace trace.json [--trace-filter transport]
 //                 [--trace-capacity 65536] [--metrics metrics.jsonl]
 //   ednsm_measure ... --shard k/N --out shard_k.json
+//   ednsm_measure ... --progress-file heartbeat.json --manifest manifest.json
 //
 // --threads N selects the shard-per-vantage parallel engine with N workers
 // (see core/parallel_campaign.h); its JSON output is byte-identical for every
@@ -34,18 +35,27 @@
 // perturbs the simulation: the results file is byte-identical with or
 // without them.
 //
+// --progress-file writes a crash-safe wall-clock heartbeat JSON (atomic
+// rename; poll it or point ednsm_watch at it) updated as the pipeline runs;
+// --manifest writes the end-of-run provenance record ednsm_merge
+// cross-checks. Both live in the runtime telemetry clock domain (see
+// DESIGN.md): results/trace/metrics are byte-identical with them on or off.
+//
 // Exit codes: 0 ok, 1 bad usage, 2 invalid spec, 3 I/O error.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "core/campaign.h"
 #include "core/parallel_campaign.h"
 #include "core/shard_io.h"
+#include "obs/runtime.h"
 #include "report/figures.h"
 #include "resolver/registry.h"
+#include "util/fs.h"
 #include "util/strings.h"
 
 using namespace ednsm;
@@ -182,6 +192,62 @@ int main(int argc, char** argv) {
   core::CampaignObsData obs_data;
   const std::string* out_path_opt = args.value().get("out");
 
+  // Runtime telemetry (wall-clock domain; never touches the deterministic
+  // outputs). The hub collects whenever either artifact was requested.
+  const std::string* progress_path = args.value().get("progress-file");
+  const std::string* manifest_path = args.value().get("manifest");
+  obs::RuntimeTelemetry telemetry;
+  std::optional<obs::HeartbeatWriter> heartbeat;
+  const bool telemetry_on = progress_path != nullptr || manifest_path != nullptr;
+  if (telemetry_on) obs_options.runtime = &telemetry;
+  if (progress_path != nullptr) {
+    heartbeat.emplace(*progress_path, telemetry);
+    obs_options.heartbeat = &*heartbeat;
+  }
+
+  auto file_size_bytes = [](const std::string& p) -> std::uint64_t {
+    std::ifstream f(p, std::ios::binary | std::ios::ate);
+    return f ? static_cast<std::uint64_t>(f.tellg()) : 0;
+  };
+
+  // Terminal telemetry flush: final heartbeat ("done"/"failed") plus the run
+  // manifest. Returns false only when the manifest itself cannot be written.
+  auto emit_final_telemetry = [&](const char* status, std::size_t total_shards,
+                                  std::uint64_t pings) -> bool {
+    if (!telemetry_on) return true;
+    const bool ok = std::string_view(status) == "ok";
+    if (heartbeat.has_value()) {
+      if (auto w = heartbeat->write_final(ok ? "done" : "failed"); !w) {
+        std::fprintf(stderr, "warning: progress file: %s\n", w.error().c_str());
+      }
+    }
+    if (manifest_path == nullptr) return true;
+    const obs::RuntimeHeartbeat snap = telemetry.snapshot_runtime(ok ? "done" : "failed");
+    obs::RunManifest manifest;
+    manifest.spec_fingerprint = snap.spec_fingerprint;
+    manifest.seed = spec.value().seed;
+    manifest.shard_k = snap.shard_k;
+    manifest.shard_n = snap.shard_n;
+    manifest.total_shards = total_shards;
+    manifest.plans = static_cast<std::size_t>(snap.plans_total);
+    manifest.threads = snap.threads;
+    manifest.status = status;
+    manifest.started_unix_ms = snap.started_unix_ms;
+    manifest.finished_unix_ms = snap.updated_unix_ms;
+    manifest.wall_ms = snap.elapsed_ms;
+    manifest.records = snap.records;
+    manifest.pings = pings;
+    manifest.bytes_encoded = snap.bytes_encoded;
+    manifest.stages = snap.stages;
+    if (auto w = util::write_file_atomic(*manifest_path,
+                                         manifest.manifest_json().dump(2) + "\n");
+        !w) {
+      std::fprintf(stderr, "error: manifest: %s\n", w.error().c_str());
+      return false;
+    }
+    return true;
+  };
+
   if (const std::string* shard = args.value().get("shard")) {
     auto slice = core::ShardSlice::parse(*shard);
     if (!slice) {
@@ -190,6 +256,13 @@ int main(int argc, char** argv) {
     }
     const std::vector<core::ShardPlan> plans = core::expand_spec(spec.value());
     const std::vector<core::ShardPlan> mine = core::slice_plans(plans, slice.value());
+
+    if (telemetry_on) {
+      telemetry.describe_run(core::spec_fingerprint(spec.value()), slice.value().k,
+                             slice.value().n, threads > 0 ? threads : 1);
+      telemetry.begin_run(mine.size());
+      if (heartbeat.has_value()) heartbeat->write_update();  // initial "starting"
+    }
 
     core::ShardFile file;
     file.spec = spec.value();
@@ -209,6 +282,16 @@ int main(int argc, char** argv) {
                 return a.index < b.index;
               });
 
+    std::uint64_t shard_pings = 0;
+    if (telemetry_on) {
+      std::uint64_t shard_records = 0;
+      for (const core::ShardOutcome& outcome : file.outcomes) {
+        shard_records += outcome.result.records.size();
+        shard_pings += outcome.result.pings.size();
+      }
+      telemetry.note_records(shard_records);
+    }
+
     const std::string path =
         out_path_opt != nullptr
             ? *out_path_opt
@@ -216,8 +299,10 @@ int main(int argc, char** argv) {
                   std::to_string(slice.value().n) + ".json";
     if (auto written = file.write(path); !written) {
       std::fprintf(stderr, "error: %s\n", written.error().c_str());
+      emit_final_telemetry("failed", plans.size(), shard_pings);
       return 3;
     }
+    if (telemetry_on) telemetry.note_bytes_encoded(file_size_bytes(path));
 
     // Per-slice debugging artifacts; the canonical merged ones come from
     // ednsm_merge over the full shard set.
@@ -246,10 +331,20 @@ int main(int argc, char** argv) {
       slice_metrics.write_jsonl(metrics_out);
     }
 
+    if (!emit_final_telemetry("ok", plans.size(), shard_pings)) return 3;
+
     std::fprintf(stderr, "shard %zu/%zu: %zu of %zu campaign shards -> %s\n",
                  slice.value().k, slice.value().n, file.outcomes.size(), plans.size(),
                  path.c_str());
     return 0;
+  }
+
+  const std::size_t plan_count = spec.value().vantage_ids.size();
+  if (telemetry_on) {
+    telemetry.describe_run(core::spec_fingerprint(spec.value()), 0, 1,
+                           threads > 0 ? threads : 1);
+    telemetry.begin_run(plan_count);
+    if (heartbeat.has_value()) heartbeat->write_update();  // initial "starting"
   }
 
   core::CampaignResult result;
@@ -264,6 +359,12 @@ int main(int argc, char** argv) {
       world.collect_metrics(obs_data.metrics);
       core::collect_result_metrics(result, obs_data.metrics);
     }
+    // The legacy engine has no pipeline hooks; report the whole run as done
+    // after the fact so its heartbeat/manifest still describe completion.
+    if (telemetry_on) {
+      for (std::size_t i = 0; i < plan_count; ++i) telemetry.note_plan_done(0);
+      telemetry.note_sink_items(plan_count, 0);
+    }
   }
 
   const std::string* out_path = args.value().get("out");
@@ -271,9 +372,15 @@ int main(int argc, char** argv) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    emit_final_telemetry("failed", plan_count, result.pings.size());
     return 3;
   }
   result.write_json(out);
+  out.flush();
+  if (telemetry_on) {
+    telemetry.note_records(result.records.size());
+    telemetry.note_bytes_encoded(file_size_bytes(path));
+  }
 
   if (trace_path != nullptr) {
     std::ofstream trace_out(*trace_path);
@@ -296,6 +403,8 @@ int main(int argc, char** argv) {
     obs_data.metrics.write_jsonl(metrics_out);
     std::fprintf(stderr, "metrics -> %s\n", metrics_path->c_str());
   }
+
+  if (!emit_final_telemetry("ok", plan_count, result.pings.size())) return 3;
 
   std::fprintf(stderr, "%zu query records, %zu pings; %.2f%% error rate -> %s\n",
                result.records.size(), result.pings.size(),

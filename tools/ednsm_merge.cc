@@ -5,6 +5,17 @@
 //   ednsm_merge --out results.json shard0.json shard1.json ...
 //               [--trace trace.json] [--trace-filter transport]
 //               [--metrics metrics.jsonl]
+//               [--manifests man0.json,man1.json,...]
+//               [--manifest-out campaign_manifest.json] [--stats]
+//
+// --manifests takes the per-process run manifests written by
+// `ednsm_measure --manifest` and cross-checks them against the shard files
+// (same spec fingerprint, matching slice topology, every shard status "ok");
+// --manifest-out folds them into one campaign-level manifest (totals,
+// wall-time spread, straggler list); --stats prints a per-shard
+// wall-time/throughput table flagging stragglers (>2x median wall time).
+// Manifests are wall-clock telemetry: they gate and annotate the merge but
+// never alter the merged results/trace/metrics bytes.
 //
 // The merge is byte-identical to an unsharded `ednsm_measure --threads N`
 // run of the same spec, for ANY shard topology: both paths feed the same
@@ -28,7 +39,9 @@
 
 #include "core/parallel_campaign.h"
 #include "core/shard_io.h"
+#include "obs/runtime.h"
 #include "util/fs.h"
+#include "util/strings.h"
 
 using namespace ednsm;
 
@@ -37,6 +50,7 @@ namespace {
 struct Args {
   std::map<std::string, std::string> options;
   std::vector<std::string> inputs;
+  bool stats = false;
 
   [[nodiscard]] const std::string* get(const std::string& key) const {
     const auto it = options.find(key);
@@ -50,6 +64,10 @@ Result<Args> parse_args(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (!arg.starts_with("--")) {
       args.inputs.emplace_back(arg);
+      continue;
+    }
+    if (arg == "--stats") {  // boolean flag: consumes no value
+      args.stats = true;
       continue;
     }
     if (i + 1 >= argc) return Err{std::string(arg) + " requires a value"};
@@ -123,6 +141,70 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Run-manifest cross-check: telemetry-side provenance must agree with the
+  // data-side shard files before we merge anything.
+  const std::string* manifests_csv = args.value().get("manifests");
+  const std::string* manifest_out = args.value().get("manifest-out");
+  if ((manifest_out != nullptr || args.value().stats) && manifests_csv == nullptr) {
+    std::fprintf(stderr, "error: --manifest-out/--stats require --manifests\n");
+    return 1;
+  }
+  std::vector<obs::RunManifest> manifests;
+  if (manifests_csv != nullptr) {
+    for (std::string_view part : util::split(*manifests_csv, ',')) {
+      if (part.empty()) continue;
+      auto loaded = obs::RunManifest::manifest_load(std::string(part));
+      if (!loaded) {
+        std::fprintf(stderr, "error: %s\n", loaded.error().c_str());
+        return 2;
+      }
+      manifests.push_back(std::move(loaded).value());
+    }
+    if (manifests.size() != shards.size()) {
+      std::fprintf(stderr, "error: %zu manifests for %zu shard files\n", manifests.size(),
+                   shards.size());
+      return 2;
+    }
+    std::vector<bool> manifest_seen(first.slice.n, false);
+    for (const obs::RunManifest& m : manifests) {
+      if (m.spec_fingerprint != fingerprint) {
+        std::fprintf(stderr, "error: manifest for shard %zu/%zu describes a different "
+                             "campaign (spec fingerprints differ)\n", m.shard_k, m.shard_n);
+        return 2;
+      }
+      if (m.shard_n != first.slice.n || m.shard_k >= first.slice.n) {
+        std::fprintf(stderr, "error: manifest slice %zu/%zu does not match the %zu-way "
+                             "shard set\n", m.shard_k, m.shard_n, first.slice.n);
+        return 2;
+      }
+      if (manifest_seen[m.shard_k]) {
+        std::fprintf(stderr, "error: manifest for slice %zu/%zu appears more than once\n",
+                     m.shard_k, m.shard_n);
+        return 2;
+      }
+      manifest_seen[m.shard_k] = true;
+      if (m.status != "ok") {
+        std::fprintf(stderr, "error: shard %zu/%zu reports status \"%s\" in its manifest\n",
+                     m.shard_k, m.shard_n, m.status.c_str());
+        return 2;
+      }
+      if (m.total_shards != first.total_shards) {
+        std::fprintf(stderr, "error: manifest for slice %zu/%zu expects %zu campaign shards, "
+                             "shard files expect %zu\n", m.shard_k, m.shard_n, m.total_shards,
+                     first.total_shards);
+        return 2;
+      }
+      for (const core::ShardFile& shard : shards) {
+        if (shard.slice.k == m.shard_k && shard.outcomes.size() != m.plans) {
+          std::fprintf(stderr, "error: manifest for slice %zu/%zu claims %zu plans, shard "
+                               "file holds %zu outcomes\n", m.shard_k, m.shard_n, m.plans,
+                       shard.outcomes.size());
+          return 2;
+        }
+      }
+    }
+  }
+
   core::CampaignObsOptions obs_options;
   obs_options.trace = trace_path != nullptr;
   obs_options.metrics = metrics_path != nullptr;
@@ -169,6 +251,22 @@ int main(int argc, char** argv) {
         !written) {
       std::fprintf(stderr, "error: %s\n", written.error().c_str());
       return 3;
+    }
+  }
+
+  if (manifest_out != nullptr) {
+    const std::string folded = obs::campaign_manifest_json(manifests).dump(2) + "\n";
+    if (auto written = util::write_file_atomic(*manifest_out, folded); !written) {
+      std::fprintf(stderr, "error: %s\n", written.error().c_str());
+      return 3;
+    }
+  }
+  if (args.value().stats) {
+    std::fputs(obs::shard_stats_table(manifests).c_str(), stdout);
+    const std::vector<std::size_t> stragglers = obs::straggler_shards(manifests);
+    if (!stragglers.empty()) {
+      std::fprintf(stdout, "%zu straggler shard(s) exceeded 2x the median wall time\n",
+                   stragglers.size());
     }
   }
 

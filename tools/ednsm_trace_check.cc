@@ -21,7 +21,21 @@
 // round on one simulated thread, so their handshake/exchange intervals
 // legitimately overlap without a parent/child relation.
 //
+// A second mode validates the runtime-telemetry artifacts (the orchestrator
+// contract for sharded campaigns):
+//
+//   ednsm_trace_check --heartbeat heartbeat.json
+//   ednsm_trace_check --heartbeat manifest.json
+//
+// accepts exactly the documents `ednsm_measure --progress-file/--manifest`
+// writes — the file's "schema" field selects ednsm-heartbeat or
+// ednsm-run-manifest, and the strict parsers in obs/runtime enforce every
+// field (status enums, completion in [0,1], plans_done <= plans_total,
+// monotone timestamps, typed stage entries). Malformed fixtures under
+// tests/trace_fixtures/ keep this surface tested.
+//
 // Usage: ednsm_trace_check trace.json [--min-events N] [--nested]
+//        ednsm_trace_check --heartbeat file.json
 // Exit codes: 0 valid, 1 bad usage, 2 validation failure, 3 I/O error.
 #include <algorithm>
 #include <cstdio>
@@ -32,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/runtime.h"
 #include "util/json.h"
 
 using namespace ednsm;
@@ -102,12 +117,67 @@ bool check_nesting(const core::JsonArray& events) {
   return true;
 }
 
+// --heartbeat: validate one runtime-telemetry artifact. The schema field
+// routes to the matching strict parser; anything else is a failure.
+int check_heartbeat_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace-check: cannot open %s\n", path);
+    return 3;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto json = core::Json::parse(buffer.str());
+  if (!json) {
+    std::fprintf(stderr, "trace-check: not valid JSON: %s\n", json.error().c_str());
+    return 2;
+  }
+  const core::Json& root = json.value();
+  if (!root.is_object() || !root.at("schema").is_string()) {
+    std::fprintf(stderr, "trace-check: missing \"schema\" field\n");
+    return 2;
+  }
+  const std::string& schema = root.at("schema").as_string();
+  if (schema == obs::RuntimeHeartbeat::kSchemaName) {
+    auto parsed = obs::RuntimeHeartbeat::heartbeat_from_json(root);
+    if (!parsed) {
+      std::fprintf(stderr, "trace-check: invalid heartbeat: %s\n", parsed.error().c_str());
+      return 2;
+    }
+    std::printf("trace-check: ok — heartbeat, shard %zu/%zu, status %s, %.1f%% complete\n",
+                parsed.value().shard_k, parsed.value().shard_n, parsed.value().status.c_str(),
+                parsed.value().completion * 100.0);
+    return 0;
+  }
+  if (schema == obs::RunManifest::kSchemaName) {
+    auto parsed = obs::RunManifest::manifest_from_json(root);
+    if (!parsed) {
+      std::fprintf(stderr, "trace-check: invalid run manifest: %s\n", parsed.error().c_str());
+      return 2;
+    }
+    std::printf("trace-check: ok — run manifest, shard %zu/%zu, status %s, %zu plans\n",
+                parsed.value().shard_k, parsed.value().shard_n, parsed.value().status.c_str(),
+                parsed.value().plans);
+    return 0;
+  }
+  std::fprintf(stderr, "trace-check: unknown schema \"%s\"\n", schema.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: ednsm_trace_check trace.json [--min-events N] [--nested]\n");
+    std::fprintf(stderr, "usage: ednsm_trace_check trace.json [--min-events N] [--nested]\n"
+                         "       ednsm_trace_check --heartbeat file.json\n");
     return 1;
+  }
+  if (std::string_view(argv[1]) == "--heartbeat") {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: ednsm_trace_check --heartbeat file.json\n");
+      return 1;
+    }
+    return check_heartbeat_file(argv[2]);
   }
   long long min_events = 0;
   bool nested = false;

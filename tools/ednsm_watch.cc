@@ -1,0 +1,170 @@
+// ednsm-watch: live terminal status for running measurement campaigns.
+//
+// Usage:
+//   ednsm_watch hb0.json [hb1.json ...] [--once] [--interval-ms 1000]
+//               [--prom runtime.prom]
+//
+// Each positional argument is a heartbeat file written by
+// `ednsm_measure --progress-file` (one per process of a sharded campaign).
+// The watcher re-reads the whole fleet every interval and renders a
+// per-shard/per-stage table: completion, throughput, ETA, collector lag,
+// staleness (ms since the process last wrote — a wedged or dead shard shows
+// frozen progress with growing staleness), and the expand/simulate/collect
+// stage counters. It exits when every heartbeat reports a terminal status
+// ("done"/"failed"), or after one render with --once.
+//
+// --prom additionally writes the fleet's runtime gauges in Prometheus text
+// exposition (monitor/prom) to the given path on every cycle, atomically, so
+// a node-exporter textfile collector can scrape a live campaign.
+//
+// Files that do not exist yet (shard process not started) or fail to parse
+// mid-rename show as "waiting"; the watcher never fails because of them.
+// This tool lives entirely in the wall-clock telemetry domain: it reads
+// heartbeats, never results, and all clock access goes through obs/runtime.
+//
+// Exit codes: 0 ok (fleet finished or --once), 1 bad usage, 3 --prom I/O.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor/prom.h"
+#include "obs/runtime.h"
+#include "util/fs.h"
+#include "util/json.h"
+
+using namespace ednsm;
+
+namespace {
+
+struct WatchedFile {
+  std::string path;
+  bool valid = false;
+  obs::RuntimeHeartbeat heartbeat;
+};
+
+// Best-effort read: a missing file (process not started) or a torn/invalid
+// read (should not happen — writes are atomic — but a hostile file might)
+// leaves the entry in the "waiting" state instead of failing the watcher.
+void refresh(WatchedFile& w) {
+  w.valid = false;
+  auto text = util::read_file(w.path);
+  if (!text) return;
+  auto json = util::Json::parse(text.value());
+  if (!json) return;
+  auto parsed = obs::RuntimeHeartbeat::heartbeat_from_json(json.value());
+  if (!parsed) return;
+  w.heartbeat = std::move(parsed).value();
+  w.valid = true;
+}
+
+std::string render(const std::vector<WatchedFile>& fleet) {
+  const std::uint64_t now_ms = obs::runtime_unix_ms();
+  std::string out =
+      "shard   status     progress             rate/s      eta_ms   lag   stale_ms\n";
+  char line[256];
+  for (const WatchedFile& w : fleet) {
+    if (!w.valid) {
+      std::snprintf(line, sizeof(line), "  -     waiting    %-48s\n", w.path.c_str());
+      out += line;
+      continue;
+    }
+    const obs::RuntimeHeartbeat& h = w.heartbeat;
+    const std::uint64_t stale =
+        now_ms > h.updated_unix_ms ? now_ms - h.updated_unix_ms : 0;
+    std::snprintf(line, sizeof(line),
+                  "%2zu/%-2zu  %-9s  %4llu/%-4llu (%5.1f%%)  %8.1f  %10.1f  %4llu  %9llu\n",
+                  h.shard_k, h.shard_n, h.status.c_str(),
+                  static_cast<unsigned long long>(h.plans_done),
+                  static_cast<unsigned long long>(h.plans_total), h.completion * 100.0,
+                  h.plans_per_sec, h.eta_ms,
+                  static_cast<unsigned long long>(h.collector_lag),
+                  static_cast<unsigned long long>(stale));
+    out += line;
+    for (const obs::RuntimeStageSnapshot& s : h.stages) {
+      std::snprintf(line, sizeof(line),
+                    "        %-9s  in=%-8llu out=%-8llu stalls=%-8llu stall_ms=%-9.1f "
+                    "busy_ms=%-9.1f maxq=%llu\n",
+                    s.stage.c_str(), static_cast<unsigned long long>(s.items_in),
+                    static_cast<unsigned long long>(s.items_out),
+                    static_cast<unsigned long long>(s.stall_spins),
+                    static_cast<double>(s.stall_ns) / 1e6,
+                    static_cast<double>(s.busy_ns) / 1e6,
+                    static_cast<unsigned long long>(s.max_queue_depth));
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<WatchedFile> fleet;
+  bool once = false;
+  long interval_ms = 1000;
+  std::string prom_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval-ms") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --interval-ms requires a value\n");
+        return 1;
+      }
+      interval_ms = std::atol(argv[++i]);
+      if (interval_ms < 1) {
+        std::fprintf(stderr, "error: --interval-ms requires a positive integer\n");
+        return 1;
+      }
+    } else if (arg == "--prom") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --prom requires a value\n");
+        return 1;
+      }
+      prom_path = argv[++i];
+    } else if (arg.starts_with("--")) {
+      std::fprintf(stderr, "error: unknown flag: %s\n", argv[i]);
+      return 1;
+    } else {
+      fleet.push_back(WatchedFile{std::string(arg), false, {}});
+    }
+  }
+  if (fleet.empty()) {
+    std::fprintf(stderr,
+                 "usage: ednsm_watch hb0.json [hb1.json ...] [--once] "
+                 "[--interval-ms N] [--prom out.prom]\n");
+    return 1;
+  }
+
+  for (bool first = true;; first = false) {
+    for (WatchedFile& w : fleet) refresh(w);
+
+    if (!once && !first) std::fputs("\x1b[2J\x1b[H", stdout);  // clear + home
+    std::fputs(render(fleet).c_str(), stdout);
+    std::fflush(stdout);
+
+    if (!prom_path.empty()) {
+      std::vector<obs::RuntimeHeartbeat> beats;
+      for (const WatchedFile& w : fleet) {
+        if (w.valid) beats.push_back(w.heartbeat);
+      }
+      if (auto written = util::write_file_atomic(prom_path, monitor::to_prometheus(beats));
+          !written) {
+        std::fprintf(stderr, "error: %s\n", written.error().c_str());
+        return 3;
+      }
+    }
+
+    bool all_terminal = true;
+    for (const WatchedFile& w : fleet) {
+      if (!w.valid || (w.heartbeat.status != "done" && w.heartbeat.status != "failed")) {
+        all_terminal = false;
+      }
+    }
+    if (once || all_terminal) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

@@ -11,6 +11,14 @@ namespace {
 
 constexpr std::string_view kTaintRule = "determinism-taint";
 constexpr std::string_view kWallclockRule = "determinism-wallclock";
+constexpr std::string_view kObsDomainRule = "obs-domain-separation";
+
+// The wall-clock telemetry domain: obs/runtime.{h,cc}. The only place host
+// clock reads are sanctioned (check_wallclock exempts it); the price is that
+// nothing defined there may flow into a deterministic sink.
+bool runtime_domain_file(const SymbolIndex& index, int file) {
+  return path_contains(index.files[static_cast<std::size_t>(file)].file->path, "obs/runtime");
+}
 
 // Identifiers that look like calls but never are (or that the graph must not
 // follow: casts and control flow).
@@ -116,7 +124,11 @@ std::vector<TaintSource> collect_taint_sources(const SymbolIndex& index) {
   std::vector<TaintSource> out;
   for (std::size_t fi = 0; fi < index.files.size(); ++fi) {
     const Prepared& p = index.files[fi];
-    const bool in_netsim = path_contains(p.file->path, "netsim/");
+    // netsim owns the seeded sim clock; obs/runtime is the sanctioned
+    // wall-clock telemetry domain (its outflow is policed structurally by
+    // obs-domain-separation instead of token taint).
+    const bool clock_exempt = path_contains(p.file->path, "netsim/") ||
+                           path_contains(p.file->path, "obs/runtime");
     const std::string_view code = p.code;
 
     auto add = [&](std::size_t pos, std::string desc, std::string_view base_rule) {
@@ -127,7 +139,7 @@ std::vector<TaintSource> collect_taint_sources(const SymbolIndex& index) {
                                 std::string(base_rule)});
     };
 
-    if (!in_netsim) {
+    if (!clock_exempt) {
       // Wall-clock / ambient randomness: the same token set as the
       // determinism-wallclock rule, so one suppression at the origin covers
       // both the token rule and any taint path out of it.
@@ -255,6 +267,67 @@ void check_determinism_taint(const SymbolIndex& index, const CallGraph& graph,
                 ": run output would differ across runs or --threads splits; make the "
                 "source deterministic (netsim clock / seeded RNG / sorted emission) or "
                 "suppress at this line — the true origin — with a rationale";
+    out.push_back(std::move(d));
+  }
+}
+
+void check_obs_domain_separation(const SymbolIndex& index, const CallGraph& graph,
+                                 std::vector<Diagnostic>& out) {
+  for (std::size_t origin = 0; origin < index.functions.size(); ++origin) {
+    const FunctionDef& origin_fn = index.functions[origin];
+    if (!origin_fn.defined || !runtime_domain_file(index, origin_fn.file)) continue;
+
+    // BFS over caller edges from the runtime-domain function to the nearest
+    // deterministic sink. Sinks inside the runtime domain (the heartbeat and
+    // manifest codecs) and to_prometheus (the sanctioned scrape surface) are
+    // transparent: telemetry may flow through them, so the walk continues.
+    std::map<int, int> parent;
+    parent[static_cast<int>(origin)] = static_cast<int>(origin);
+    std::deque<int> queue{static_cast<int>(origin)};
+    int sink = -1;
+    while (!queue.empty() && sink < 0) {
+      const int cur = queue.front();
+      queue.pop_front();
+      const FunctionDef& fn = index.functions[static_cast<std::size_t>(cur)];
+      if (cur != static_cast<int>(origin) && is_taint_sink(index, fn) &&
+          !runtime_domain_file(index, fn.file) && fn.name != "to_prometheus") {
+        sink = cur;
+        break;
+      }
+      for (const int caller : graph.callers[static_cast<std::size_t>(cur)]) {
+        if (parent.emplace(caller, cur).second) queue.push_back(caller);
+      }
+    }
+    if (sink < 0) continue;
+
+    const FunctionDef& sink_fn = index.functions[static_cast<std::size_t>(sink)];
+    const Prepared& sink_file = index.files[static_cast<std::size_t>(sink_fn.file)];
+    if (is_allowed(sink_file, sink_fn.line, kObsDomainRule)) continue;
+
+    std::vector<std::string> trace;
+    for (int cur = sink;; cur = parent[cur]) {
+      trace.push_back(index.functions[static_cast<std::size_t>(cur)].qualified());
+      if (cur == parent[cur]) break;
+    }
+    std::reverse(trace.begin(), trace.end());
+
+    std::string path_str;
+    for (const std::string& fn : trace) {
+      if (!path_str.empty()) path_str += " -> ";
+      path_str += fn + "()";
+    }
+    Diagnostic d;
+    d.path = sink_file.file->path;
+    d.line = sink_fn.line;
+    d.rule = std::string(kObsDomainRule);
+    d.key = origin_fn.qualified() + "->" + sink_fn.qualified();
+    d.trace = std::move(trace);
+    d.message = "wall-clock runtime telemetry ('" + origin_fn.qualified() +
+                "', defined in the obs/runtime domain) reaches deterministic "
+                "serialization sink '" + sink_fn.qualified() + "' via " + path_str +
+                ": runtime counters and host-clock timings must stay out of "
+                "results/trace/metrics output (byte-identity contract); route the "
+                "data through heartbeat/manifest files or to_prometheus instead";
     out.push_back(std::move(d));
   }
 }

@@ -58,6 +58,18 @@ void check_determinism_taint(const SymbolIndex& index, const CallGraph& graph,
                              const std::vector<TaintSource>& extra_sources,
                              std::vector<Diagnostic>& out);
 
+// The clock-domain boundary rule (obs-domain-separation): every function
+// defined in a runtime-telemetry file (path contains "obs/runtime" — the one
+// place wall-clock reads are sanctioned) is a source; walking caller edges
+// from it must never reach a deterministic serialization sink. to_prometheus
+// is the one allowed sink (runtime gauges are exposed for scraping, outside
+// the deterministic output contract); sinks defined inside the runtime
+// domain itself (the heartbeat/manifest writers) are likewise fine. Reported
+// at the sink's definition: the sink is the function that now depends on
+// wall-clock state.
+void check_obs_domain_separation(const SymbolIndex& index, const CallGraph& graph,
+                                 std::vector<Diagnostic>& out);
+
 // The innermost defined function whose body contains `pos` in `file`
 // (-1 when the offset is at namespace scope). Exposed for tests.
 [[nodiscard]] int enclosing_function(const SymbolIndex& index, int file, std::size_t pos);

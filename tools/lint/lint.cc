@@ -34,6 +34,7 @@ constexpr std::string_view kPragmaOnce = "hygiene-pragma-once";
 constexpr std::string_view kUsingNamespace = "hygiene-using-namespace";
 constexpr std::string_view kNodiscardResult = "hygiene-nodiscard-result";
 constexpr std::string_view kObsSpanBalance = "obs-span-balance";
+constexpr std::string_view kObsDomain = "obs-domain-separation";
 constexpr std::string_view kRawThread = "concurrency-raw-thread";
 
 const std::vector<RuleInfo> kRules = {
@@ -72,6 +73,12 @@ const std::vector<RuleInfo> kRules = {
     {kObsSpanBalance,
      "manual Tracer begin_span/end_span call outside src/obs: hand-paired "
      "spans leak on early return or exception; use the OBS_SPAN RAII macro"},
+    {kObsDomain,
+     "wall-clock runtime telemetry (a function defined in obs/runtime, the "
+     "sanctioned host-clock domain) reaches a deterministic serialization sink "
+     "(to_json / to_binary / shard writers) along call edges; runtime counters "
+     "must stay out of the byte-identical output contract — export them via "
+     "heartbeat/manifest files or to_prometheus"},
     {kRawThread,
      "raw std::thread/std::jthread outside the pipeline engine "
      "(core/parallel_campaign.cc) and src/util: ad-hoc threads bypass the "
@@ -263,8 +270,13 @@ void check_unordered_iteration(const Prepared& p, const std::vector<UnorderedSit
 // ---------------------------------------------------------------------------
 
 void check_wallclock(const Prepared& p, std::vector<Diagnostic>& out) {
-  // netsim owns the seeded clock and RNG; the rule polices everything else.
-  if (path_contains(p.file->path, "netsim/")) return;
+  // netsim owns the seeded clock and RNG; obs/runtime is the sanctioned
+  // wall-clock telemetry domain (obs-domain-separation polices its outflow).
+  // The rule polices everything else.
+  if (path_contains(p.file->path, "netsim/") ||
+      path_contains(p.file->path, "obs/runtime")) {
+    return;
+  }
   const std::string_view code = p.code;
 
   auto diag = [&](std::size_t pos, const std::string& what) {
@@ -720,6 +732,7 @@ std::vector<Diagnostic> run_lint(const std::vector<SourceFile>& files, const Opt
   check_codec_parity(index, graph, diags);
   check_phase_sum(index, diags);
   check_determinism_taint(index, graph, unordered_taint, diags);
+  check_obs_domain_separation(index, graph, diags);
   check_include_cycles(index, diags);
   if (!options.layers_text.empty()) {
     LayerConfig config;
