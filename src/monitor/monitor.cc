@@ -172,6 +172,19 @@ void evaluate_result(MonitorResult& result) {
   result.events = detect_events(result.slos, result.spec.slo);
 }
 
+core::MeasurementSpec epoch_campaign_spec(const MonitorSpec& spec, std::uint64_t epoch_seed,
+                                          int epoch) {
+  core::MeasurementSpec epoch_spec = spec.base;
+  epoch_spec.seed = epoch_seed;
+  for (const OutageScript& script : spec.outages) {
+    if (script.from_epoch <= epoch && epoch < script.to_epoch) {
+      // Whole-epoch outage: every round of this epoch's campaign.
+      epoch_spec.fault_windows.push_back(core::FaultWindow{script.resolver, 0, epoch_spec.rounds});
+    }
+  }
+  return epoch_spec;
+}
+
 Result<MonitorResult> run_monitor(const MonitorSpec& spec, int threads) {
   if (auto v = spec.validate(); !v) return Err{v.error()};
   if (threads < 1) return Err{std::string("monitor: threads must be >= 1")};
@@ -185,16 +198,8 @@ Result<MonitorResult> run_monitor(const MonitorSpec& spec, int threads) {
       core::shard_seeds(spec.base.seed, static_cast<std::size_t>(spec.epochs));
 
   for (int e = 0; e < spec.epochs; ++e) {
-    core::MeasurementSpec epoch_spec = spec.base;
-    epoch_spec.seed = seeds[static_cast<std::size_t>(e)];
-    for (const OutageScript& script : spec.outages) {
-      if (script.from_epoch <= e && e < script.to_epoch) {
-        // Whole-epoch outage: every round of this epoch's campaign.
-        epoch_spec.fault_windows.push_back(
-            core::FaultWindow{script.resolver, 0, epoch_spec.rounds});
-      }
-    }
-
+    const core::MeasurementSpec epoch_spec =
+        epoch_campaign_spec(spec, seeds[static_cast<std::size_t>(e)], e);
     const core::CampaignResult result = core::run_parallel_campaign(epoch_spec, threads);
 
     EpochSummary summary;

@@ -66,6 +66,13 @@ struct MonitorResult {
   void write_json(std::ostream& os, int indent = 0) const;
 };
 
+// Campaign spec for epoch `epoch`: the base spec with the epoch's derived
+// seed and any scripted outages active at that epoch lowered to whole-epoch
+// fault windows. Shared by run_monitor and monitor/diagnose so re-derived
+// per-query evidence matches the original run byte-for-byte.
+[[nodiscard]] core::MeasurementSpec epoch_campaign_spec(const MonitorSpec& spec,
+                                                        std::uint64_t epoch_seed, int epoch);
+
 // Run the monitor: `threads` is the per-epoch ParallelCampaign worker count
 // (epochs themselves run serially — each epoch's campaign is the parallel
 // unit). Returns an error for an invalid spec.

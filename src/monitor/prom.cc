@@ -123,7 +123,21 @@ std::string to_prometheus(const obs::TimeSeries& series) {
   return std::move(os).str();
 }
 
-std::string to_prometheus(const std::vector<obs::RuntimeHeartbeat>& fleet) {
+std::uint64_t fleet_latest_update_ms(const std::vector<obs::RuntimeHeartbeat>& fleet) noexcept {
+  std::uint64_t latest = 0;
+  for (const obs::RuntimeHeartbeat& h : fleet) latest = std::max(latest, h.updated_unix_ms);
+  return latest;
+}
+
+bool heartbeat_is_stale(const obs::RuntimeHeartbeat& h, std::uint64_t fleet_latest_ms,
+                        std::uint64_t stale_after_ms) noexcept {
+  if (h.status == "done" || h.status == "failed") return false;
+  return fleet_latest_ms > h.updated_unix_ms &&
+         fleet_latest_ms - h.updated_unix_ms > stale_after_ms;
+}
+
+std::string to_prometheus(const std::vector<obs::RuntimeHeartbeat>& fleet,
+                          std::uint64_t stale_after_ms) {
   // Shards emit in (k, n) order so output is deterministic regardless of the
   // order heartbeat files were read.
   std::vector<const obs::RuntimeHeartbeat*> ordered;
@@ -164,6 +178,16 @@ std::string to_prometheus(const std::vector<obs::RuntimeHeartbeat>& fleet) {
     os << "# TYPE " << name << " gauge\n";
     for (const obs::RuntimeHeartbeat* h : ordered) {
       os << name << shard_label(*h) << ' ' << fmt_double(g.value(*h)) << '\n';
+    }
+  }
+
+  if (stale_after_ms > 0) {
+    const std::uint64_t latest = fleet_latest_update_ms(fleet);
+    const std::string name = sanitize("runtime_stale");
+    os << "# TYPE " << name << " gauge\n";
+    for (const obs::RuntimeHeartbeat* h : ordered) {
+      os << name << shard_label(*h) << ' '
+         << (heartbeat_is_stale(*h, latest, stale_after_ms) ? 1 : 0) << '\n';
     }
   }
 

@@ -150,7 +150,24 @@ void render_latency_bands(std::ostringstream& os, const monitor::MonitorResult& 
   }
 }
 
-void render_event_timeline(std::ostringstream& os, const monitor::MonitorResult& result) {
+// Diagnosis for one event, matched on the event's identity tuple so a report
+// loaded from a file (possibly re-ordered) still annotates correctly.
+const monitor::Diagnosis* diagnosis_of(const monitor::MonitorEvent& ev,
+                                       const monitor::DiagnosisReport* diagnoses) {
+  if (diagnoses == nullptr) return nullptr;
+  for (const monitor::Diagnosis& d : diagnoses->diagnoses) {
+    const monitor::MonitorEvent& de = d.event;
+    if (de.type == ev.type && de.vantage == ev.vantage && de.resolver == ev.resolver &&
+        de.protocol == ev.protocol && de.start_epoch == ev.start_epoch &&
+        de.end_epoch == ev.end_epoch) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+void render_event_timeline(std::ostringstream& os, const monitor::MonitorResult& result,
+                           const monitor::DiagnosisReport* diagnoses) {
   os << "<h2>Event timeline</h2>\n";
   if (result.events.empty()) {
     os << "<p>No events.</p>\n";
@@ -184,8 +201,14 @@ void render_event_timeline(std::ostringstream& os, const monitor::MonitorResult&
        << fmt(w, "%.1f") << "\" height=\"" << row_h - 8 << "\" rx=\"3\" fill=\""
        << event_color(ev.type) << "\"><title>" << html_escape(ev.type) << " epochs "
        << ev.start_epoch << "&ndash;" << ev.end_epoch
-       << (ev.transitions > 0 ? " (" + std::to_string(ev.transitions) + " transitions)" : "")
-       << "</title></rect>\n";
+       << (ev.transitions > 0 ? " (" + std::to_string(ev.transitions) + " transitions)" : "");
+    if (const monitor::Diagnosis* d = diagnosis_of(ev, diagnoses);
+        d != nullptr && !d->verdicts.empty()) {
+      os << " — " << html_escape(d->verdicts.front().cause) << " (score "
+         << fmt(d->verdicts.front().score, "%.2f") << ", " << html_escape(d->scope.classification)
+         << ")";
+    }
+    os << "</title></rect>\n";
     ++row;
   }
   os << "</svg>\n";
@@ -194,9 +217,48 @@ void render_event_timeline(std::ostringstream& os, const monitor::MonitorResult&
         "<span style=\"color:#8e44ad\">&#9632;</span> flap</p>\n";
 }
 
+void render_diagnoses(std::ostringstream& os, const monitor::DiagnosisReport& report) {
+  os << "<h2>Diagnoses</h2>\n";
+  if (report.diagnoses.empty()) {
+    os << "<p>No events to diagnose.</p>\n";
+    return;
+  }
+  os << "<table class=\"heat\"><tr><th>event</th><th>verdict</th><th>stage</th><th>scope</th>"
+        "<th>&Delta;response</th><th>window avail</th><th>exemplars</th></tr>\n";
+  for (const monitor::Diagnosis& d : report.diagnoses) {
+    const monitor::MonitorEvent& ev = d.event;
+    os << "<tr><td class=\"lbl\">" << html_escape(ev.type) << " " << html_escape(ev.vantage)
+       << " / " << html_escape(ev.resolver) << " e" << ev.start_epoch << "&ndash;e"
+       << ev.end_epoch << "</td>";
+    if (d.verdicts.empty()) {
+      os << "<td>-</td>";
+    } else {
+      os << "<td title=\"" << html_escape(d.verdicts.front().rationale) << "\">"
+         << html_escape(d.verdicts.front().cause) << " ("
+         << fmt(d.verdicts.front().score, "%.2f") << ")</td>";
+    }
+    os << "<td>" << html_escape(d.dominant_stage.empty() ? "none" : d.dominant_stage) << "</td>";
+    os << "<td>" << html_escape(d.scope.classification) << " "
+       << d.scope.affected_vantages.size() << "/" << d.scope.vantages_observed << "</td>";
+    os << "<td>" << fmt(d.delta.response_ms, "%+.1f") << " ms</td>";
+    os << "<td>" << fmt(d.window.availability * 100.0) << "%</td>";
+    os << "<td class=\"lbl\">";
+    bool first = true;
+    for (const auto& e : d.exemplars) {
+      if (!first) os << "<br>";
+      first = false;
+      os << "<code>" << html_escape(e.flight_ref) << "</code>";
+    }
+    if (first) os << "-";
+    os << "</td></tr>\n";
+  }
+  os << "</table>\n";
+}
+
 }  // namespace
 
-std::string render_monitor_dashboard(const monitor::MonitorResult& result) {
+std::string render_monitor_dashboard(const monitor::MonitorResult& result,
+                                     const monitor::DiagnosisReport* diagnoses) {
   std::ostringstream os;
   os << "<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
      << "<title>ednsm monitor dashboard</title>\n<style>\n"
@@ -227,7 +289,8 @@ std::string render_monitor_dashboard(const monitor::MonitorResult& result) {
 
   render_heatmap(os, result);
   render_latency_bands(os, result);
-  render_event_timeline(os, result);
+  render_event_timeline(os, result, diagnoses);
+  if (diagnoses != nullptr) render_diagnoses(os, *diagnoses);
 
   os << "</body>\n</html>\n";
   return std::move(os).str();

@@ -8,6 +8,7 @@
 
 #include "core/campaign.h"
 #include "core/parallel_campaign.h"
+#include "monitor/diagnose.h"
 #include "monitor/events.h"
 #include "monitor/monitor.h"
 #include "monitor/prom.h"
@@ -466,6 +467,269 @@ TEST(Monitor, RejectsInvalidInputs) {
   EXPECT_FALSE(monitor::run_monitor(spec, 0));
   spec.base.resolvers.clear();
   EXPECT_FALSE(monitor::run_monitor(spec, 1));
+}
+
+// SLO boundary semantics on hand-built series: the outage threshold is a
+// strict less-than, windows containing epoch 0 have exact inclusive bounds,
+// and flap events bracket the first and last transition exactly.
+
+TEST(Slo, AvailabilityAtOutageThresholdIsNotOutage) {
+  // The outage test is a strict less-than. Exercise the boundary with a
+  // dyadic threshold (0.25 = 1/4) so "exactly at the threshold" is exact in
+  // floating point — 1 - 9/10.0 lands one ULP below 0.10 and would make the
+  // default threshold a false boundary probe.
+  monitor::SloConfig config;
+  config.outage_availability = 0.25;
+  obs::TimeSeries ts(1);
+  add_epoch(ts, 0, 4, 3, 50.0);  // availability exactly 0.25: NOT an outage
+  add_epoch(ts, 1, 4, 4, 50.0);  // 0.0: outage
+  add_epoch(ts, 2, 4, 0, 50.0);
+
+  const auto slos = monitor::evaluate_slos(ts, config, {"v1"}, {"r1"}, "DoH", 3);
+  ASSERT_EQ(slos.size(), 3u);
+  EXPECT_DOUBLE_EQ(slos[0].availability, 0.25);
+  EXPECT_EQ(slos[0].state, "degraded");  // below the tier floor, above outage
+  EXPECT_DOUBLE_EQ(slos[1].availability, 0.0);
+  EXPECT_EQ(slos[1].state, "outage");
+}
+
+TEST(Slo, DegradationWindowStartingAtEpochZero) {
+  monitor::SloConfig config;  // window_epochs = 3
+  obs::TimeSeries ts(1);
+  add_epoch(ts, 0, 10, 5, 50.0);  // 0.5 availability: degrades its windows
+  add_epoch(ts, 1, 10, 0, 50.0);
+  add_epoch(ts, 2, 10, 0, 50.0);
+  add_epoch(ts, 3, 10, 0, 50.0);
+
+  const auto slos = monitor::evaluate_slos(ts, config, {"v1"}, {"r1"}, "DoH", 4);
+  ASSERT_EQ(slos.size(), 4u);
+  // Epoch 0's failures stay in the rolling window until epoch 2 (inclusive).
+  EXPECT_EQ(slos[0].state, "degraded");
+  EXPECT_EQ(slos[1].state, "degraded");
+  EXPECT_EQ(slos[2].state, "degraded");
+  EXPECT_EQ(slos[3].state, "healthy");
+
+  const auto events = monitor::detect_events(slos, config);
+  ASSERT_EQ(events.size(), 1u) << monitor::events_to_json(events).dump(2);
+  EXPECT_EQ(events[0].type, "degradation");
+  EXPECT_EQ(events[0].start_epoch, 0);
+  EXPECT_EQ(events[0].end_epoch, 2);
+}
+
+TEST(Events, BackToBackFlapsBracketFirstAndLastTransition) {
+  monitor::SloConfig config;
+  config.window_epochs = 1;  // each epoch judged alone: crisp state per epoch
+  obs::TimeSeries ts(1);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    // Alternate total outage and full health back to back.
+    add_epoch(ts, epoch, 10, epoch % 2 == 0 ? 10 : 0, 50.0);
+  }
+
+  const auto slos = monitor::evaluate_slos(ts, config, {"v1"}, {"r1"}, "DoH", 6);
+  ASSERT_EQ(slos.size(), 6u);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    EXPECT_EQ(slos[static_cast<std::size_t>(epoch)].state,
+              epoch % 2 == 0 ? "outage" : "healthy")
+        << "epoch " << epoch;
+  }
+
+  const auto events = monitor::detect_events(slos, config);
+  std::vector<const monitor::MonitorEvent*> flaps;
+  std::vector<const monitor::MonitorEvent*> outages;
+  for (const monitor::MonitorEvent& e : events) {
+    if (e.type == "flap") flaps.push_back(&e);
+    if (e.type == "outage") outages.push_back(&e);
+  }
+  // Three single-epoch outages, each a maximal run with exact bounds.
+  ASSERT_EQ(outages.size(), 3u) << monitor::events_to_json(events).dump(2);
+  for (std::size_t i = 0; i < outages.size(); ++i) {
+    EXPECT_EQ(outages[i]->start_epoch, static_cast<int>(2 * i));
+    EXPECT_EQ(outages[i]->end_epoch, static_cast<int>(2 * i));
+  }
+  // One flap: five transitions, bracketed by the first (epoch 1) and last
+  // (epoch 5) state change.
+  ASSERT_EQ(flaps.size(), 1u) << monitor::events_to_json(events).dump(2);
+  EXPECT_EQ(flaps[0]->transitions, 5);
+  EXPECT_EQ(flaps[0]->start_epoch, 1);
+  EXPECT_EQ(flaps[0]->end_epoch, 5);
+}
+
+TEST(Prom, HostileResolverNameLabelsAreEscaped) {
+  obs::TimeSeries ts(1);
+  // Quote, backslash, and newline in a label value must all be escaped per
+  // the Prometheus text exposition spec.
+  const std::string hostile = "ev\"il\\res\nolver";
+  ts.add_counter(monitor::kMetricQueries, "v\"1", hostile, "DoH", 0, 3);
+
+  const std::string text = monitor::to_prometheus(ts);
+  EXPECT_NE(text.find("resolver=\"ev\\\"il\\\\res\\nolver\""), std::string::npos) << text;
+  EXPECT_NE(text.find("vantage=\"v\\\"1\""), std::string::npos) << text;
+  // The raw (unescaped) value must not survive anywhere in the exposition:
+  // an embedded newline would split a sample line in two.
+  EXPECT_EQ(text.find(hostile), std::string::npos) << text;
+}
+
+TEST(Prom, RuntimeStaleGaugeFlagsLaggards) {
+  auto beat = [](std::size_t k, const char* status, std::uint64_t updated) {
+    obs::RuntimeHeartbeat h;
+    h.shard_k = k;
+    h.shard_n = 3;
+    h.status = status;
+    h.updated_unix_ms = updated;
+    return h;
+  };
+  const std::vector<obs::RuntimeHeartbeat> fleet = {
+      beat(0, "running", 10'000),  // lags the fleet by 90 s: stale
+      beat(1, "running", 100'000),
+      beat(2, "done", 5'000),  // terminal shards are never stale
+  };
+
+  EXPECT_EQ(monitor::fleet_latest_update_ms(fleet), 100'000u);
+  EXPECT_EQ(monitor::fleet_latest_update_ms({}), 0u);
+  EXPECT_TRUE(monitor::heartbeat_is_stale(fleet[0], 100'000, 50'000));
+  // The threshold is a strict greater-than: a lag of exactly stale_after_ms
+  // is still fresh.
+  EXPECT_FALSE(monitor::heartbeat_is_stale(fleet[0], 100'000, 90'000));
+  EXPECT_FALSE(monitor::heartbeat_is_stale(fleet[1], 100'000, 50'000));
+  EXPECT_FALSE(monitor::heartbeat_is_stale(fleet[2], 100'000, 50'000));
+
+  const std::string text = monitor::to_prometheus(fleet, 50'000);
+  EXPECT_NE(text.find("# TYPE ednsm_runtime_stale gauge"), std::string::npos) << text;
+  EXPECT_NE(text.find("ednsm_runtime_stale{shard=\"0/3\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("ednsm_runtime_stale{shard=\"1/3\"} 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("ednsm_runtime_stale{shard=\"2/3\"} 0"), std::string::npos) << text;
+
+  // Without a threshold the gauge is absent entirely.
+  EXPECT_EQ(monitor::to_prometheus(fleet).find("ednsm_runtime_stale"), std::string::npos);
+}
+
+// Diagnosis engine: re-derive evidence for the scripted outage and attribute.
+
+TEST(Diagnose, ScriptedOutageAttributedToResolverOutage) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  spec.outages.push_back(monitor::OutageScript{"dns.google", 2, 4});
+  auto result = monitor::run_monitor(spec, 2);
+  ASSERT_TRUE(result) << result.error();
+
+  auto report = monitor::diagnose_events(result.value(), 2);
+  ASSERT_TRUE(report) << report.error();
+  ASSERT_EQ(report.value().diagnoses.size(), result.value().events.size());
+
+  const monitor::Diagnosis* outage = nullptr;
+  for (const monitor::Diagnosis& d : report.value().diagnoses) {
+    if (d.event.type == "outage") {
+      ASSERT_EQ(outage, nullptr) << "expected exactly one outage diagnosis";
+      outage = &d;
+    }
+  }
+  ASSERT_NE(outage, nullptr);
+  EXPECT_EQ(outage->event.resolver, "dns.google");
+  EXPECT_EQ(outage->event.start_epoch, 2);
+  EXPECT_EQ(outage->event.end_epoch, 3);
+
+  // Every query in the scripted window failed at connect.
+  EXPECT_EQ(outage->dominant_stage, "connect");
+  EXPECT_GT(outage->stages.connect, 0u);
+  EXPECT_EQ(outage->stages.total(), outage->window.failures);
+  EXPECT_DOUBLE_EQ(outage->window.availability, 0.0);
+
+  // Baseline covers the healthy epochs before the event and was clean.
+  EXPECT_EQ(outage->baseline_from, 0);
+  EXPECT_EQ(outage->baseline_to, 1);
+  EXPECT_GT(outage->baseline.queries, 0u);
+  EXPECT_GT(outage->baseline.availability, 0.9);
+
+  // The spec has one vantage, so the blast radius is single-vantage.
+  EXPECT_EQ(outage->scope.classification, "single-vantage");
+  EXPECT_EQ(outage->scope.vantages_observed, 1);
+  ASSERT_EQ(outage->scope.affected_vantages.size(), 1u);
+  EXPECT_EQ(outage->scope.affected_vantages[0], "ec2-ohio");
+
+  // Top-ranked verdict: resolver outage, backed by the connect failures.
+  ASSERT_FALSE(outage->verdicts.empty());
+  EXPECT_EQ(outage->verdicts[0].cause, "resolver-outage");
+  EXPECT_GT(outage->verdicts[0].score, 0.5);
+  EXPECT_EQ(outage->verdicts[0].evidence, outage->stages.connect + outage->stages.timeout);
+  for (std::size_t i = 1; i < outage->verdicts.size(); ++i) {
+    EXPECT_GE(outage->verdicts[0].score, outage->verdicts[i].score);
+  }
+
+  // Exemplars cite concrete failed queries inside the window, with flight
+  // recorder refs naming the resolver.
+  ASSERT_FALSE(outage->exemplars.empty());
+  for (const obs::Exemplar& x : outage->exemplars) {
+    EXPECT_FALSE(x.ok);
+    EXPECT_GE(x.epoch, 2);
+    EXPECT_LE(x.epoch, 3);
+    EXPECT_EQ(x.failure_stage, "connect");
+    EXPECT_NE(x.flight_ref.find("dns.google"), std::string::npos) << x.flight_ref;
+  }
+
+  // Plain-text rendering mentions the verdict.
+  const std::string text = monitor::render_diagnosis_report(report.value());
+  EXPECT_NE(text.find("resolver-outage"), std::string::npos) << text;
+  EXPECT_NE(text.find("dns.google"), std::string::npos);
+}
+
+TEST(Diagnose, ReportByteIdenticalAcrossThreadCounts) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  spec.outages.push_back(monitor::OutageScript{"dns.google", 2, 4});
+  auto result = monitor::run_monitor(spec, 2);
+  ASSERT_TRUE(result) << result.error();
+
+  auto one = monitor::diagnose_events(result.value(), 1);
+  auto many = monitor::diagnose_events(result.value(), 8);
+  ASSERT_TRUE(one) << one.error();
+  ASSERT_TRUE(many) << many.error();
+  EXPECT_EQ(one.value().to_json().dump(0), many.value().to_json().dump(0));
+}
+
+TEST(Diagnose, ReportCodecRoundTripsAndChecksVersion) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  spec.outages.push_back(monitor::OutageScript{"dns.google", 2, 4});
+  auto result = monitor::run_monitor(spec, 2);
+  ASSERT_TRUE(result) << result.error();
+  auto report = monitor::diagnose_events(result.value(), 2);
+  ASSERT_TRUE(report) << report.error();
+
+  auto round = monitor::DiagnosisReport::from_json(report.value().to_json());
+  ASSERT_TRUE(round) << round.error();
+  EXPECT_EQ(round.value().to_json().dump(0), report.value().to_json().dump(0));
+
+  core::Json j = report.value().to_json();
+  j.as_object()["version"] = core::Json(99);
+  EXPECT_FALSE(monitor::DiagnosisReport::from_json(j));
+}
+
+TEST(Diagnose, RejectsInvalidInputs) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  auto result = monitor::run_monitor(spec, 1);
+  ASSERT_TRUE(result) << result.error();
+
+  EXPECT_FALSE(monitor::diagnose_events(result.value(), 0));
+  monitor::DiagnoseOptions opts;
+  opts.baseline_epochs = 0;
+  EXPECT_FALSE(monitor::diagnose_events(result.value(), 1, opts));
+}
+
+TEST(Diagnose, DashboardRendersDiagnosesSection) {
+  monitor::MonitorSpec spec = small_monitor_spec();
+  spec.outages.push_back(monitor::OutageScript{"dns.google", 2, 4});
+  auto result = monitor::run_monitor(spec, 2);
+  ASSERT_TRUE(result) << result.error();
+  auto report = monitor::diagnose_events(result.value(), 2);
+  ASSERT_TRUE(report) << report.error();
+
+  const std::string html =
+      web::render_monitor_dashboard(result.value(), &report.value());
+  EXPECT_NE(html.find("Diagnoses"), std::string::npos);
+  EXPECT_NE(html.find("resolver-outage"), std::string::npos);
+  // Still self-contained with the extra section.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  // Without a report the dashboard is unchanged from the single-arg overload.
+  EXPECT_EQ(web::render_monitor_dashboard(result.value(), nullptr),
+            web::render_monitor_dashboard(result.value()));
 }
 
 }  // namespace

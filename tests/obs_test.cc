@@ -10,6 +10,7 @@
 #include "core/campaign.h"
 #include "util/json.h"
 #include "core/parallel_campaign.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "report/flight_recorder.h"
@@ -367,6 +368,163 @@ TEST(FlightRecorder, EqualDurationsTieBreakOnVantageResolverRound) {
   ASSERT_NE(third, std::string::npos) << listing;
   EXPECT_LT(first, second);
   EXPECT_LT(second, third);
+}
+
+// Attribution primitives: the pure aggregations monitor/diagnose argues from.
+
+obs::QueryEvidence ev_row(const char* vantage, const char* domain, int epoch, int round, bool ok,
+                          const char* stage, double response_ms) {
+  obs::QueryEvidence e;
+  e.vantage = vantage;
+  e.domain = domain;
+  e.epoch = epoch;
+  e.round = round;
+  e.ok = ok;
+  e.response_ms = response_ms;
+  e.failure_stage = stage;
+  return e;
+}
+
+TEST(Attribution, CountStagesInclusiveWindowAndTaxonomy) {
+  std::vector<obs::QueryEvidence> rows;
+  rows.push_back(ev_row("v1", "a.com", 1, 0, false, "connect", 0.0));    // outside window
+  rows.push_back(ev_row("v1", "a.com", 2, 0, false, "connect", 0.0));
+  rows.push_back(ev_row("v1", "b.com", 2, 1, false, "timeout", 0.0));
+  rows.push_back(ev_row("v1", "c.com", 3, 0, false, "handshake", 0.0));
+  rows.push_back(ev_row("v1", "d.com", 3, 1, false, "martian", 0.0));    // unknown -> other
+  rows.push_back(ev_row("v1", "e.com", 3, 1, true, "", 12.0));           // success not counted
+  rows.push_back(ev_row("v1", "a.com", 4, 0, false, "query", 0.0));      // outside window
+
+  const obs::StageBreakdown b = obs::count_stages(rows, 2, 3);
+  EXPECT_EQ(b.connect, 1u);
+  EXPECT_EQ(b.timeout, 1u);
+  EXPECT_EQ(b.handshake, 1u);
+  EXPECT_EQ(b.other, 1u);
+  EXPECT_EQ(b.query, 0u);
+  EXPECT_EQ(b.total(), 4u);
+  // Four-way tie: taxonomy order puts connect first.
+  EXPECT_EQ(b.dominant(), "connect");
+
+  // Empty and inverted windows are default-constructed: no failures, no stage.
+  EXPECT_EQ(obs::count_stages(rows, 10, 20).total(), 0u);
+  EXPECT_EQ(obs::count_stages(rows, 3, 2).total(), 0u);
+  EXPECT_EQ(obs::count_stages(rows, 10, 20).dominant(), "");
+}
+
+TEST(Attribution, ProfilePhasesMediansOverSuccesses) {
+  std::vector<obs::QueryEvidence> rows;
+  for (int i = 0; i < 3; ++i) {
+    obs::QueryEvidence e = ev_row("v1", "a.com", 1, i, true, "", 10.0 * (i + 1));
+    e.tcp_ms = 1.0 * (i + 1);
+    e.exchange_ms = 5.0 * (i + 1);
+    e.reused = (i == 0);
+    rows.push_back(e);
+  }
+  rows.push_back(ev_row("v1", "b.com", 1, 3, false, "timeout", 0.0));
+
+  const obs::PhaseProfile p = obs::profile_phases(rows, 1, 1);
+  EXPECT_EQ(p.queries, 4u);
+  EXPECT_EQ(p.failures, 1u);
+  EXPECT_DOUBLE_EQ(p.availability, 0.75);
+  EXPECT_DOUBLE_EQ(p.reused_fraction, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p.response_ms, 20.0);  // median of {10, 20, 30}
+  EXPECT_DOUBLE_EQ(p.tcp_ms, 2.0);
+  EXPECT_DOUBLE_EQ(p.exchange_ms, 10.0);
+
+  // No queries in the window: the default profile (availability 1.0).
+  const obs::PhaseProfile empty = obs::profile_phases(rows, 5, 9);
+  EXPECT_EQ(empty.queries, 0u);
+  EXPECT_DOUBLE_EQ(empty.availability, 1.0);
+}
+
+TEST(Attribution, PhaseDeltaIsWindowMinusBaseline) {
+  obs::PhaseProfile base;
+  base.availability = 1.0;
+  base.response_ms = 40.0;
+  base.tcp_ms = 5.0;
+  base.reused_fraction = 0.5;
+  obs::PhaseProfile win;
+  win.availability = 0.25;
+  win.response_ms = 100.0;
+  win.tcp_ms = 20.0;
+  win.reused_fraction = 0.75;
+
+  const obs::PhaseDelta d = obs::phase_delta(base, win);
+  EXPECT_DOUBLE_EQ(d.availability, -0.75);
+  EXPECT_DOUBLE_EQ(d.response_ms, 60.0);
+  EXPECT_DOUBLE_EQ(d.tcp_ms, 15.0);
+  EXPECT_DOUBLE_EQ(d.reused_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(d.tls_ms, 0.0);
+}
+
+TEST(Attribution, PickExemplarsFailuresFirstThenSlowest) {
+  std::vector<obs::QueryEvidence> rows;
+  rows.push_back(ev_row("v1", "slow.com", 2, 0, true, "", 99.0));
+  rows.push_back(ev_row("v1", "fast.com", 2, 0, true, "", 5.0));
+  rows.push_back(ev_row("v2", "x.com", 3, 1, false, "connect", 0.0));
+  rows.push_back(ev_row("v1", "y.com", 2, 1, false, "timeout", 0.0));
+  rows.push_back(ev_row("v1", "z.com", 9, 0, false, "connect", 0.0));  // outside window
+
+  const std::vector<obs::Exemplar> top = obs::pick_exemplars(rows, 2, 3, 3);
+  ASSERT_EQ(top.size(), 3u);
+  // Failures lead, earliest evidence first: (epoch, vantage, round, domain).
+  EXPECT_FALSE(top[0].ok);
+  EXPECT_EQ(top[0].domain, "y.com");
+  EXPECT_FALSE(top[1].ok);
+  EXPECT_EQ(top[1].domain, "x.com");
+  // Then the slowest success.
+  EXPECT_TRUE(top[2].ok);
+  EXPECT_EQ(top[2].domain, "slow.com");
+  EXPECT_DOUBLE_EQ(top[2].response_ms, 99.0);
+
+  EXPECT_EQ(obs::pick_exemplars(rows, 2, 3, 2).size(), 2u);
+  EXPECT_TRUE(obs::pick_exemplars(rows, 2, 3, 0).empty());
+}
+
+TEST(Attribution, AggregateCodecsRoundTrip) {
+  obs::StageBreakdown b;
+  b.connect = 3;
+  b.timeout = 1;
+  b.other = 2;
+  auto b2 = obs::StageBreakdown::from_json(b.to_json());
+  ASSERT_TRUE(b2) << b2.error();
+  EXPECT_EQ(b2.value().to_json().dump(0), b.to_json().dump(0));
+
+  obs::PhaseProfile p;
+  p.queries = 7;
+  p.failures = 2;
+  p.availability = 5.0 / 7.0;
+  p.reused_fraction = 0.4;
+  p.response_ms = 33.5;
+  p.tls_ms = 8.25;
+  auto p2 = obs::PhaseProfile::from_json(p.to_json());
+  ASSERT_TRUE(p2) << p2.error();
+  EXPECT_EQ(p2.value().to_json().dump(0), p.to_json().dump(0));
+
+  obs::PhaseDelta d;
+  d.availability = -0.5;
+  d.wait_ms = 12.0;
+  auto d2 = obs::PhaseDelta::from_json(d.to_json());
+  ASSERT_TRUE(d2) << d2.error();
+  EXPECT_EQ(d2.value().to_json().dump(0), d.to_json().dump(0));
+
+  obs::Exemplar x;
+  x.vantage = "ec2-ohio";
+  x.domain = "example.com";
+  x.epoch = 4;
+  x.round = 1;
+  x.ok = false;
+  x.failure_stage = "connect";
+  x.error_class = "connect-refused";
+  x.flight_ref = "epoch4/ec2-ohio/dns.google/r1/example.com";
+  auto x2 = obs::Exemplar::from_json(x.to_json());
+  ASSERT_TRUE(x2) << x2.error();
+  EXPECT_EQ(x2.value().to_json().dump(0), x.to_json().dump(0));
+
+  EXPECT_FALSE(obs::StageBreakdown::from_json(util::Json(1.0)));
+  EXPECT_FALSE(obs::PhaseProfile::from_json(util::Json(1.0)));
+  EXPECT_FALSE(obs::PhaseDelta::from_json(util::Json(1.0)));
+  EXPECT_FALSE(obs::Exemplar::from_json(util::Json(1.0)));
 }
 
 }  // namespace

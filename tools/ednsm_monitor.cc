@@ -13,10 +13,17 @@
 //   ednsm_monitor run --spec monitor_spec.json [--threads N] [--out ...]
 //   ednsm_monitor slo --in monitor.json [--json]
 //   ednsm_monitor events --in monitor.json
+//   ednsm_monitor diagnose --in monitor.json [--threads N] [--baseline K]
+//                 [--exemplars N] [--json] [--out diagnosis.json]
 //   ednsm_monitor export --prom --in monitor.json
 //
-// The run output is a pure function of the spec: byte-identical series, SLO,
-// and event files for any --threads value.
+// `diagnose` re-runs each event's epochs from the spec's derived seeds (the
+// monitor output has no per-query records) and attributes every event to a
+// ranked cause; see monitor/diagnose.h.
+//
+// The run and diagnose outputs are pure functions of the spec:
+// byte-identical series, SLO, event, and diagnosis files for any --threads
+// value.
 //
 // Exit codes: 0 ok, 1 bad usage, 2 invalid spec, 3 I/O error.
 #include <cstdio>
@@ -27,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "monitor/diagnose.h"
 #include "monitor/monitor.h"
 #include "monitor/prom.h"
 #include "resolver/registry.h"
@@ -51,7 +59,7 @@ struct Args {
 };
 
 Result<Args> parse_args(int argc, char** argv) {
-  if (argc < 2) return Err{std::string("missing command (run|slo|events|export)")};
+  if (argc < 2) return Err{std::string("missing command (run|slo|events|diagnose|export)")};
   Args args;
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -283,6 +291,54 @@ int cmd_events(const Args& args) {
   return 0;
 }
 
+int cmd_diagnose(const Args& args) {
+  auto result = load_result(args);
+  if (!result) {
+    std::fprintf(stderr, "error: %s\n", result.error().c_str());
+    return 3;
+  }
+  int threads = 1;
+  if (const std::string* t = args.get("threads")) {
+    threads = std::atoi(t->c_str());
+    if (threads < 1) {
+      std::fprintf(stderr, "error: --threads requires a positive integer (got %s)\n", t->c_str());
+      return 1;
+    }
+  }
+  monitor::DiagnoseOptions opts;
+  if (const std::string* b = args.get("baseline")) {
+    opts.baseline_epochs = std::atoi(b->c_str());
+    if (opts.baseline_epochs < 1) {
+      std::fprintf(stderr, "error: --baseline requires a positive integer (got %s)\n", b->c_str());
+      return 1;
+    }
+  }
+  if (const std::string* n = args.get("exemplars")) {
+    const int count = std::atoi(n->c_str());
+    if (count < 0) {
+      std::fprintf(stderr, "error: --exemplars must be >= 0 (got %s)\n", n->c_str());
+      return 1;
+    }
+    opts.max_exemplars = static_cast<std::size_t>(count);
+  }
+
+  auto report = monitor::diagnose_events(result.value(), threads, opts);
+  if (!report) {
+    std::fprintf(stderr, "error: %s\n", report.error().c_str());
+    return 2;
+  }
+  const std::string payload = report.value().to_json().dump(2) + "\n";
+  if (const std::string* out_path = args.get("out")) {
+    if (!write_file(*out_path, payload)) return 3;
+  }
+  if (args.json) {
+    std::fputs(payload.c_str(), stdout);
+  } else {
+    std::fputs(monitor::render_diagnosis_report(report.value()).c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmd_export(const Args& args) {
   if (!args.prom) {
     std::fprintf(stderr, "error: export needs --prom\n");
@@ -302,7 +358,8 @@ int cmd_export(const Args& args) {
 int main(int argc, char** argv) {
   auto args = parse_args(argc, argv);
   if (!args) {
-    std::fprintf(stderr, "error: %s\nusage: ednsm_monitor run|slo|events|export [options]\n",
+    std::fprintf(stderr,
+                 "error: %s\nusage: ednsm_monitor run|slo|events|diagnose|export [options]\n",
                  args.error().c_str());
     return 1;
   }
@@ -310,7 +367,9 @@ int main(int argc, char** argv) {
   if (command == "run") return cmd_run(args.value());
   if (command == "slo") return cmd_slo(args.value());
   if (command == "events") return cmd_events(args.value());
+  if (command == "diagnose") return cmd_diagnose(args.value());
   if (command == "export") return cmd_export(args.value());
-  std::fprintf(stderr, "error: unknown command '%s' (run|slo|events|export)\n", command.c_str());
+  std::fprintf(stderr, "error: unknown command '%s' (run|slo|events|diagnose|export)\n",
+               command.c_str());
   return 1;
 }

@@ -8,6 +8,10 @@
 //   ednsm_report results.json --winners ec2-ohio
 //   ednsm_report results.json --flight-recorder 10
 //   ednsm_report monitor.json --monitor-dashboard dashboard.html
+//   ednsm_report monitor.json --monitor-dashboard dashboard.html --diagnosis diagnosis.json
+//
+// --diagnosis annotates the dashboard's event timeline and adds a verdict
+// table from an `ednsm_monitor diagnose --out` report.
 //
 // Exit codes: 0 ok, 1 bad usage, 3 I/O / parse error.
 #include <cstdio>
@@ -44,7 +48,8 @@ int main(int argc, char** argv) {
                  "       [--remote-table NA|EU|Asia --near ID --far ID] [--winners ID]\n"
                  "       [--recommend ID] [--decomposition table|figure]\n"
                  "       [--flight-recorder N]\n"
-                 "       [--monitor-dashboard out.html]   (input: ednsm_monitor run output)\n");
+                 "       [--monitor-dashboard out.html]   (input: ednsm_monitor run output)\n"
+                 "       [--diagnosis diagnosis.json]     (annotate the monitor dashboard)\n");
     return 1;
   }
 
@@ -77,15 +82,39 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", mon.error().c_str());
       return 3;
     }
+    monitor::DiagnosisReport diagnoses;
+    bool have_diagnoses = false;
+    if (options.contains("diagnosis")) {
+      std::ifstream diag_in(options["diagnosis"]);
+      if (!diag_in) {
+        std::fprintf(stderr, "error: cannot open %s\n", options["diagnosis"].c_str());
+        return 3;
+      }
+      std::stringstream diag_buffer;
+      diag_buffer << diag_in.rdbuf();
+      auto diag_json = core::Json::parse(diag_buffer.str());
+      if (!diag_json) {
+        std::fprintf(stderr, "error: %s\n", diag_json.error().c_str());
+        return 3;
+      }
+      auto parsed = monitor::DiagnosisReport::from_json(diag_json.value());
+      if (!parsed) {
+        std::fprintf(stderr, "error: %s\n", parsed.error().c_str());
+        return 3;
+      }
+      diagnoses = std::move(parsed).value();
+      have_diagnoses = true;
+    }
     const std::string& out_path = options["monitor-dashboard"];
     std::ofstream out(out_path);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
       return 3;
     }
-    out << web::render_monitor_dashboard(mon.value());
-    std::fprintf(stderr, "dashboard (%zu slo samples, %zu events) -> %s\n",
-                 mon.value().slos.size(), mon.value().events.size(), out_path.c_str());
+    out << web::render_monitor_dashboard(mon.value(), have_diagnoses ? &diagnoses : nullptr);
+    std::fprintf(stderr, "dashboard (%zu slo samples, %zu events, %zu diagnoses) -> %s\n",
+                 mon.value().slos.size(), mon.value().events.size(), diagnoses.diagnoses.size(),
+                 out_path.c_str());
     return 0;
   }
 

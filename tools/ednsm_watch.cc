@@ -2,7 +2,7 @@
 //
 // Usage:
 //   ednsm_watch hb0.json [hb1.json ...] [--once] [--interval-ms 1000]
-//               [--prom runtime.prom]
+//               [--prom runtime.prom] [--stale-after MS]
 //
 // Each positional argument is a heartbeat file written by
 // `ednsm_measure --progress-file` (one per process of a sharded campaign).
@@ -16,6 +16,13 @@
 // --prom additionally writes the fleet's runtime gauges in Prometheus text
 // exposition (monitor/prom) to the given path on every cycle, atomically, so
 // a node-exporter textfile collector can scrape a live campaign.
+//
+// --stale-after MS flags shards whose heartbeat timestamp lags the fleet's
+// newest by more than the threshold: the table shows STALE instead of the
+// shard's (frozen) status, and the --prom export gains an
+// ednsm_runtime_stale gauge per shard. Without it a dead worker keeps
+// showing its last counters forever. Terminal shards ("done"/"failed") are
+// never flagged.
 //
 // Files that do not exist yet (shard process not started) or fail to parse
 // mid-rename show as "waiting"; the watcher never fails because of them.
@@ -59,8 +66,13 @@ void refresh(WatchedFile& w) {
   w.valid = true;
 }
 
-std::string render(const std::vector<WatchedFile>& fleet) {
+std::string render(const std::vector<WatchedFile>& fleet, std::uint64_t stale_after_ms) {
   const std::uint64_t now_ms = obs::runtime_unix_ms();
+  std::vector<obs::RuntimeHeartbeat> beats;
+  for (const WatchedFile& w : fleet) {
+    if (w.valid) beats.push_back(w.heartbeat);
+  }
+  const std::uint64_t fleet_latest = monitor::fleet_latest_update_ms(beats);
   std::string out =
       "shard   status     progress             rate/s      eta_ms   lag   stale_ms\n";
   char line[256];
@@ -73,9 +85,11 @@ std::string render(const std::vector<WatchedFile>& fleet) {
     const obs::RuntimeHeartbeat& h = w.heartbeat;
     const std::uint64_t stale =
         now_ms > h.updated_unix_ms ? now_ms - h.updated_unix_ms : 0;
+    const bool is_stale =
+        stale_after_ms > 0 && monitor::heartbeat_is_stale(h, fleet_latest, stale_after_ms);
     std::snprintf(line, sizeof(line),
                   "%2zu/%-2zu  %-9s  %4llu/%-4llu (%5.1f%%)  %8.1f  %10.1f  %4llu  %9llu\n",
-                  h.shard_k, h.shard_n, h.status.c_str(),
+                  h.shard_k, h.shard_n, is_stale ? "STALE" : h.status.c_str(),
                   static_cast<unsigned long long>(h.plans_done),
                   static_cast<unsigned long long>(h.plans_total), h.completion * 100.0,
                   h.plans_per_sec, h.eta_ms,
@@ -105,6 +119,7 @@ int main(int argc, char** argv) {
   bool once = false;
   long interval_ms = 1000;
   std::string prom_path;
+  std::uint64_t stale_after_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--once") {
@@ -125,6 +140,17 @@ int main(int argc, char** argv) {
         return 1;
       }
       prom_path = argv[++i];
+    } else if (arg == "--stale-after") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --stale-after requires a value\n");
+        return 1;
+      }
+      const long value = std::atol(argv[++i]);
+      if (value < 1) {
+        std::fprintf(stderr, "error: --stale-after requires a positive ms threshold\n");
+        return 1;
+      }
+      stale_after_ms = static_cast<std::uint64_t>(value);
     } else if (arg.starts_with("--")) {
       std::fprintf(stderr, "error: unknown flag: %s\n", argv[i]);
       return 1;
@@ -135,7 +161,7 @@ int main(int argc, char** argv) {
   if (fleet.empty()) {
     std::fprintf(stderr,
                  "usage: ednsm_watch hb0.json [hb1.json ...] [--once] "
-                 "[--interval-ms N] [--prom out.prom]\n");
+                 "[--interval-ms N] [--prom out.prom] [--stale-after MS]\n");
     return 1;
   }
 
@@ -143,7 +169,7 @@ int main(int argc, char** argv) {
     for (WatchedFile& w : fleet) refresh(w);
 
     if (!once && !first) std::fputs("\x1b[2J\x1b[H", stdout);  // clear + home
-    std::fputs(render(fleet).c_str(), stdout);
+    std::fputs(render(fleet, stale_after_ms).c_str(), stdout);
     std::fflush(stdout);
 
     if (!prom_path.empty()) {
@@ -151,7 +177,8 @@ int main(int argc, char** argv) {
       for (const WatchedFile& w : fleet) {
         if (w.valid) beats.push_back(w.heartbeat);
       }
-      if (auto written = util::write_file_atomic(prom_path, monitor::to_prometheus(beats));
+      if (auto written = util::write_file_atomic(
+              prom_path, monitor::to_prometheus(beats, stale_after_ms));
           !written) {
         std::fprintf(stderr, "error: %s\n", written.error().c_str());
         return 3;
